@@ -1,0 +1,181 @@
+// Command mddiff compares the scheduling constraints of two machine
+// descriptions: it computes both forbidden-latency matrices and reports
+// every constraint added or removed, matching operations by name.
+//
+// This is the co-design workflow the paper motivates ("high performance
+// compilers are often developed in parallel with micro-architecture
+// development during which resource requirements often change"): after a
+// hardware revision, mddiff shows exactly which initiation intervals
+// became legal or illegal, and whether a hand-edited description drifted
+// from the hardware-shaped one.
+//
+// Usage:
+//
+//	mddiff old.mdl new.mdl
+//	mddiff -machine mips new.mdl     # builtin vs file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro"
+	"repro/internal/forbidden"
+	"repro/internal/resmodel"
+)
+
+func main() {
+	builtin := flag.String("machine", "", "compare a built-in machine (left side) against the file")
+	flag.Parse()
+
+	var left, right *repro.Machine
+	var err error
+	args := flag.Args()
+	switch {
+	case *builtin != "" && len(args) == 1:
+		left = repro.BuiltinMachine(*builtin)
+		if left == nil {
+			fail("unknown machine %q", *builtin)
+		}
+		right, err = loadFile(args[0])
+	case len(args) == 2:
+		if left, err = loadFile(args[0]); err == nil {
+			right, err = loadFile(args[1])
+		}
+	default:
+		fail("usage: mddiff [-machine NAME] old.mdl [new.mdl]")
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+
+	added, removed, common, onlyL, onlyR := diff(left, right)
+	fmt.Printf("left:  %q (%d resources, %d ops)\n", left.Name, len(left.Resources), len(left.Ops))
+	fmt.Printf("right: %q (%d resources, %d ops)\n", right.Name, len(right.Resources), len(right.Ops))
+	if len(onlyL) > 0 {
+		fmt.Printf("operations only in left:  %v\n", onlyL)
+	}
+	if len(onlyR) > 0 {
+		fmt.Printf("operations only in right: %v\n", onlyR)
+	}
+	fmt.Printf("common operations: %d\n\n", common)
+
+	if len(added) == 0 && len(removed) == 0 {
+		fmt.Println("scheduling constraints are IDENTICAL on the common operations:")
+		fmt.Println("every contention query answers the same on both descriptions.")
+		return
+	}
+	if len(removed) > 0 {
+		fmt.Printf("constraints REMOVED by right (%d) — schedules may get tighter:\n", len(removed))
+		printConstraints(removed)
+	}
+	if len(added) > 0 {
+		fmt.Printf("constraints ADDED by right (%d) — existing schedules may break:\n", len(added))
+		printConstraints(added)
+	}
+	os.Exit(1)
+}
+
+type constraint struct {
+	x, y string
+	f    int
+}
+
+func diff(left, right *repro.Machine) (added, removed []constraint, common int, onlyL, onlyR []string) {
+	le, re := left.Expand(), right.Expand()
+	lm, rm := forbidden.Compute(le), forbidden.Compute(re)
+
+	rIdx := map[string]int{}
+	for i, o := range re.Ops {
+		rIdx[o.Name] = i
+	}
+	lNames := map[string]bool{}
+	for _, o := range le.Ops {
+		lNames[o.Name] = true
+		if _, ok := rIdx[o.Name]; !ok {
+			onlyL = append(onlyL, o.Name)
+		}
+	}
+	for _, o := range re.Ops {
+		if !lNames[o.Name] {
+			onlyR = append(onlyR, o.Name)
+		}
+	}
+
+	collect := func(m *forbidden.Matrix, e *resmodel.Expanded, x, y int) map[int]bool {
+		out := map[int]bool{}
+		m.Set(x, y).ForEach(func(f int) bool {
+			if f >= 0 {
+				out[f] = true
+			}
+			return true
+		})
+		return out
+	}
+	for lx, ox := range le.Ops {
+		rx, okx := rIdx[ox.Name]
+		if !okx {
+			continue
+		}
+		for ly, oy := range le.Ops {
+			ry, oky := rIdx[oy.Name]
+			if !oky {
+				continue
+			}
+			ls := collect(lm, le, lx, ly)
+			rs := collect(rm, re, rx, ry)
+			for f := range ls {
+				if !rs[f] {
+					removed = append(removed, constraint{ox.Name, oy.Name, f})
+				}
+			}
+			for f := range rs {
+				if !ls[f] {
+					added = append(added, constraint{ox.Name, oy.Name, f})
+				}
+			}
+		}
+		common++
+	}
+	sortConstraints(added)
+	sortConstraints(removed)
+	return
+}
+
+func sortConstraints(cs []constraint) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].x != cs[j].x {
+			return cs[i].x < cs[j].x
+		}
+		if cs[i].y != cs[j].y {
+			return cs[i].y < cs[j].y
+		}
+		return cs[i].f < cs[j].f
+	})
+}
+
+func printConstraints(cs []constraint) {
+	const max = 40
+	for i, c := range cs {
+		if i == max {
+			fmt.Printf("  ... and %d more\n", len(cs)-max)
+			break
+		}
+		fmt.Printf("  %s cannot issue %d cycle(s) after %s\n", c.x, c.f, c.y)
+	}
+}
+
+func loadFile(path string) (*repro.Machine, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return repro.ParseMachine(string(src))
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mddiff: "+format+"\n", args...)
+	os.Exit(2)
+}

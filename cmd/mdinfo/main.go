@@ -1,0 +1,124 @@
+// Command mdinfo inspects a machine description: operation classes, the
+// forbidden-latency matrix, reservation tables, and the generating set of
+// maximal resources.
+//
+// Usage:
+//
+//	mdinfo -machine mips -classes -matrix
+//	mdinfo -file mymachine.mdl -tables
+//	mdinfo -machine example -genset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/forbidden"
+	"repro/internal/resmodel"
+)
+
+func main() {
+	var (
+		file     = flag.String("file", "", "machine description file (.mdl)")
+		machine  = flag.String("machine", "", "built-in machine: "+strings.Join(repro.BuiltinMachines(), ", "))
+		classes  = flag.Bool("classes", false, "print operation classes")
+		matrix   = flag.Bool("matrix", false, "print the forbidden-latency matrix")
+		tablesF  = flag.Bool("tables", false, "print reservation tables")
+		genset   = flag.Bool("genset", false, "print the pruned generating set of maximal resources")
+		lint     = flag.Bool("lint", false, "print advisory warnings about the description")
+		allFlags = flag.Bool("all", false, "print everything")
+	)
+	flag.Parse()
+
+	m, err := load(*file, *machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdinfo:", err)
+		os.Exit(1)
+	}
+	e := m.Expand()
+	mat := forbidden.Compute(e)
+	cls := mat.ComputeClasses()
+
+	fmt.Printf("machine %q: %d resources, %d operations (%d expanded), %d classes, %d forbidden latencies (max %d)\n",
+		m.Name, len(m.Resources), len(m.Ops), len(e.Ops), cls.NumClasses(),
+		mat.Collapse(cls).NonnegCount(), mat.MaxLatency())
+
+	if *classes || *allFlags {
+		fmt.Println("\noperation classes:")
+		for ci, members := range cls.Members {
+			names := make([]string, len(members))
+			for i, op := range members {
+				names[i] = e.Ops[op].Name
+			}
+			fmt.Printf("  class %2d: %s\n", ci, strings.Join(names, ", "))
+		}
+	}
+
+	if *tablesF || *allFlags {
+		fmt.Println("\nreservation tables:")
+		for _, o := range e.Ops {
+			fmt.Printf("\noperation %s (latency %d):\n%s", o.Name, o.Latency,
+				resmodel.TableString(e.Resources, o.Table))
+		}
+	}
+
+	if *matrix || *allFlags {
+		fmt.Println("\nforbidden-latency matrix (non-empty sets, class representatives):")
+		cm := mat.Collapse(cls)
+		for x := 0; x < cm.NumOps; x++ {
+			for y := 0; y < cm.NumOps; y++ {
+				if s := cm.Set(x, y); !s.Empty() {
+					fmt.Printf("  F[%s][%s] = %s\n",
+						e.Ops[cls.Rep[x]].Name, e.Ops[cls.Rep[y]].Name, s)
+				}
+			}
+		}
+	}
+
+	if *lint || *allFlags {
+		ws := resmodel.Lint(m)
+		if len(ws) == 0 {
+			fmt.Println("\nlint: no warnings")
+		} else {
+			fmt.Printf("\nlint: %d warning(s):\n", len(ws))
+			for _, w := range ws {
+				fmt.Printf("  %s\n", w)
+			}
+		}
+	}
+
+	if *genset || *allFlags {
+		cm := mat.Collapse(cls)
+		gen := core.GeneratingSet(cm, nil)
+		pruned := core.Prune(cm, gen)
+		fmt.Printf("\ngenerating set: %d resources, %d after pruning:\n", len(gen), len(pruned))
+		opName := func(c int) string { return e.Ops[cls.Rep[c]].Name }
+		for i, r := range pruned {
+			fmt.Printf("  %3d: %s\n", i, r.StringWith(opName))
+		}
+	}
+}
+
+func load(file, builtin string) (*repro.Machine, error) {
+	switch {
+	case file != "" && builtin != "":
+		return nil, fmt.Errorf("use either -file or -machine, not both")
+	case file != "":
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return repro.ParseMachine(string(src))
+	case builtin != "":
+		m := repro.BuiltinMachine(builtin)
+		if m == nil {
+			return nil, fmt.Errorf("unknown machine %q", builtin)
+		}
+		return m, nil
+	}
+	return nil, fmt.Errorf("need -file or -machine")
+}

@@ -1,0 +1,95 @@
+// Command paper regenerates every table and figure of Eichenberger &
+// Davidson, "A Reduced Multipipeline Machine Description that Preserves
+// Scheduling Constraints" (PLDI 1996).
+//
+// Usage:
+//
+//	paper -all
+//	paper -table 1        # Tables 1, 2, 3, 4, 5 or 6
+//	paper -fig 1          # Figures 1, 3 or 4
+//	paper -summary        # headline numbers of the abstract
+//	paper -table 5 -budget 2   # Table 5 ablation at budget 2N
+//	paper -loops 300      # subsample the 1327-loop benchmark (faster)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/machines"
+	"repro/internal/tables"
+)
+
+func main() {
+	var (
+		table   = flag.Int("table", 0, "regenerate table 1-6")
+		fig     = flag.Int("fig", 0, "regenerate figure 1, 3 or 4")
+		summary = flag.Bool("summary", false, "print the headline summary")
+		memory  = flag.Bool("memory", false, "print measured reserved-table storage per representation")
+		kernels = flag.Bool("kernels", false, "software-pipeline the named Livermore-style kernels")
+		all     = flag.Bool("all", false, "regenerate everything")
+		budget  = flag.Int("budget", 6, "scheduling-decision budget ratio for Table 5")
+		loops   = flag.Int("loops", 0, "restrict the loop benchmark to the first N loops (0 = all 1327)")
+	)
+	flag.Parse()
+	if !*all && *table == 0 && *fig == 0 && !*summary && !*memory && !*kernels {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *all || *fig == 1 {
+		fmt.Println(tables.Figure1())
+	}
+	if *all || *fig == 3 {
+		fmt.Println(tables.Figure3())
+	}
+	if *all || *table == 1 {
+		fmt.Println(tables.ComputeReduction(machines.Cydra5()).
+			Render("Table 1: Results for the Cydra 5"))
+	}
+	if *all || *table == 2 {
+		fmt.Println(tables.ComputeReduction(machines.Cydra5Subset()).
+			Render("Table 2: Results for a subset of the Cydra 5"))
+	}
+	if *all || *table == 3 {
+		fmt.Println(tables.ComputeReduction(machines.Alpha21064()).
+			Render("Table 3: Results for the DEC Alpha 21064"))
+	}
+	if *all || *table == 4 {
+		fmt.Println(tables.ComputeReduction(machines.MIPS()).
+			Render("Table 4: Results for the MIPS R3000/R3010"))
+	}
+	if *all || *table == 5 || *table == 6 {
+		m := machines.Cydra5()
+		bench := tables.BenchmarkLoops(m)
+		if *loops > 0 && *loops < len(bench) {
+			bench = bench[:*loops]
+		}
+		if *all || *table == 5 {
+			fmt.Println(tables.ComputeTable5(m, bench, *budget).Render())
+		}
+		if *all || *table == 6 {
+			reps := tables.PaperRepresentations(m)
+			fmt.Println(tables.ComputeTable6(m, bench, reps).Render())
+		}
+	}
+	if *all || *fig == 4 {
+		fmt.Println(tables.Figure4())
+	}
+	if *all || *summary {
+		fmt.Println(tables.Summary())
+	}
+	if *all || *memory {
+		fmt.Println(tables.RenderMemory(tables.ComputeMemory(
+			[]string{"mips", "alpha", "cydra5", "parisc"}, 24)))
+	}
+	if *all || *kernels {
+		rows, err := tables.ComputeKernels(machines.Cydra5())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+			os.Exit(1)
+		}
+		fmt.Println(tables.RenderKernels(rows))
+	}
+}

@@ -1,0 +1,100 @@
+// predicated: the Enhanced-Modulo-Scheduling extension of the reserved
+// table (Section 5 of the paper cites Warter et al.'s predicate field).
+// After IF-conversion, the two arms of a diamond execute under disjoint
+// predicates — only one arm's operations are real in any iteration — so
+// a predicate-aware reserved table lets both arms share functional-unit
+// cycles, reducing the resource-constrained minimum initiation interval.
+//
+// The demo packs the stores of both arms of
+//
+//	for i { if c[i] { a[i] = x } else { b[i] = y } }
+//
+// into the same store-port cycles on the Cydra 5. The unpredicated table
+// needs the sum of both arms' port cycles; the predicated table needs the
+// maximum.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/query"
+)
+
+func main() {
+	m := repro.BuiltinMachine("cydra5")
+	// Reduce first: the predicated table works identically over the
+	// reduced description (contention stays pairwise).
+	red, err := repro.Reduce(m, repro.Objective{Kind: repro.ResUses})
+	if err != nil {
+		log.Fatal(err)
+	}
+	e := red.Reduced
+	st0 := e.OpIndex("st.w.0")
+	st1 := e.OpIndex("st.w.1")
+	if st0 < 0 || st1 < 0 {
+		log.Fatal("store alternatives missing")
+	}
+
+	// Predicates: 1 = "then" arm, 2 = "else" arm — disjoint.
+	ps := query.NewPredSet(3)
+	ps.MarkDisjoint(1, 2)
+
+	// Each arm stores through BOTH memory ports (4 stores per iteration
+	// total). Unpredicated, the two arms need disjoint port cycles.
+	place := func(ii int, predicated bool) (placedCount int) {
+		var pm *query.Predicated
+		var dm repro.Module
+		if predicated {
+			pm = query.NewPredicated(e, ps, ii)
+		} else {
+			dm = repro.NewDiscreteModule(e, ii)
+		}
+		id := 0
+		stores := []struct {
+			op   int
+			pred int
+		}{
+			{st0, 1}, {st1, 1}, // then-arm stores
+			{st0, 2}, {st1, 2}, // else-arm stores
+		}
+		for _, st := range stores {
+			for t := 0; t < ii; t++ {
+				okHere := false
+				if predicated {
+					okHere = pm.Check(st.op, t, st.pred)
+				} else {
+					okHere = dm.Check(st.op, t)
+				}
+				if okHere {
+					if predicated {
+						pm.Assign(st.op, t, st.pred, id)
+					} else {
+						dm.Assign(st.op, t, id)
+					}
+					id++
+					placedCount++
+					break
+				}
+			}
+		}
+		return placedCount
+	}
+
+	fmt.Println("packing 2 predicated store pairs (then-arm + else-arm) into an MRT:")
+	for ii := 1; ii <= 8; ii++ {
+		plain := place(ii, false)
+		pred := place(ii, true)
+		mark := func(n int) string {
+			if n == 4 {
+				return "fits"
+			}
+			return fmt.Sprintf("only %d/4", n)
+		}
+		fmt.Printf("  II=%d: unpredicated %-9s predicated %s\n", ii, mark(plain), mark(pred))
+	}
+	fmt.Println("\nwith disjoint predicates the else-arm reuses the then-arm's port cycles,")
+	fmt.Println("so the predicated kernel sustains the same stores at a smaller II —")
+	fmt.Println("the EMS payoff the reserved-table representation supports with one extra field.")
+}

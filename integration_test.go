@@ -1,0 +1,160 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/query"
+)
+
+// TestIntegrationCrossBlockScheduling drives the full cross-basic-block
+// flow through the public API: schedule block A, extract its dangling
+// resource requirements, seed block B's module with them, schedule B, and
+// validate the concatenation against the ORIGINAL (unreduced) machine —
+// while B's module runs on the REDUCED description.
+func TestIntegrationCrossBlockScheduling(t *testing.T) {
+	m := repro.BuiltinMachine("mips")
+	e := m.Expand()
+	red, err := repro.Reduce(m, repro.Objective{Kind: repro.ResUses})
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := func(op int) int { return red.Reduced.Ops[op].Table.Span() }
+
+	// Block A on the reduced description.
+	blockA := repro.NewDiscreteModule(red.Reduced, 0).(*query.Discrete)
+	fdiv := red.Reduced.OpIndex("fdiv.d")
+	ialu := red.Reduced.OpIndex("ialu")
+	if fdiv < 0 || ialu < 0 {
+		t.Fatal("ops missing")
+	}
+	blockA.Assign(ialu, 0, 1)
+	blockA.Assign(fdiv, 1, 2)
+	exit := 3
+
+	ds := repro.DanglingFrom(blockA.Instances(), span, exit)
+	if len(ds) == 0 {
+		t.Fatal("no dangling requirements extracted")
+	}
+
+	// Block B, seeded.
+	blockB := repro.NewDiscreteModule(red.Reduced, 0).(repro.DanglingSeeder)
+	if err := blockB.SeedDangling(ds); err != nil {
+		t.Fatal(err)
+	}
+	bStart := -1
+	for cyc := 0; cyc < 64; cyc++ {
+		if blockB.Check(fdiv, cyc) {
+			blockB.Assign(fdiv, cyc, 10)
+			bStart = cyc
+			break
+		}
+	}
+	if bStart < 0 {
+		t.Fatal("no slot for the second divide in block B")
+	}
+
+	// Ground truth: replay the concatenated trace on the ORIGINAL
+	// description — the reduced description must have answered every
+	// boundary query identically.
+	concat := repro.NewDiscreteModule(e, 0)
+	ofdiv, oialu := e.OpIndex("fdiv.d"), e.OpIndex("ialu")
+	for _, pl := range []struct{ op, cyc, id int }{
+		{oialu, 0, 1}, {ofdiv, 1, 2}, {ofdiv, exit + bStart, 10},
+	} {
+		if !concat.Check(pl.op, pl.cyc) {
+			t.Fatalf("concatenated trace has contention at cycle %d", pl.cyc)
+		}
+		concat.Assign(pl.op, pl.cyc, pl.id)
+	}
+	// And the slot must be tight: one cycle earlier conflicts.
+	if bStart > 0 {
+		if concat.Check(ofdiv, exit+bStart-1) {
+			t.Fatalf("block B missed an earlier feasible slot at %d", bStart-1)
+		}
+	}
+}
+
+// TestIntegrationUnrestrictedBackends: the operation-driven scheduler
+// produces identical schedules through the reduced reservation tables and
+// the automaton pair, via the public API.
+func TestIntegrationUnrestrictedBackends(t *testing.T) {
+	m := repro.BuiltinMachine("example")
+	e := m.Expand()
+	red, err := repro.Reduce(m, repro.Objective{Kind: repro.ResUses})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &repro.Loop{
+		Name: "bb",
+		Nodes: []repro.LoopNode{
+			{Name: "b1", Op: m.OpIndex("B")},
+			{Name: "b2", Op: m.OpIndex("B")},
+			{Name: "a1", Op: m.OpIndex("A")},
+		},
+		Edges: []repro.LoopEdge{{From: 0, To: 2, Delay: 8}},
+	}
+	tablesMod := repro.NewDiscreteModule(red.Reduced, 0)
+	rt, err := repro.OperationDrivenSchedule(g, e, tablesMod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := repro.NewPairModule(red.Reduced, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := repro.OperationDrivenSchedule(g, e, pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range rt.Time {
+		if rt.Time[v] != rp.Time[v] {
+			t.Fatalf("node %d: tables %d vs pair %d", v, rt.Time[v], rp.Time[v])
+		}
+	}
+}
+
+// TestIntegrationRegionFacade drives the CFG region scheduler through the
+// public API on the Alpha: an if-then-else hammock whose entry issues a
+// long divide.
+func TestIntegrationRegionFacade(t *testing.T) {
+	m := repro.BuiltinMachine("alpha")
+	red, err := repro.Reduce(m, repro.Objective{Kind: repro.ResUses})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string, ops ...string) repro.RegionBlock {
+		g := &repro.Loop{Name: name}
+		for _, op := range ops {
+			idx := m.OpIndex(op)
+			if idx < 0 {
+				t.Fatalf("missing op %s", op)
+			}
+			g.Nodes = append(g.Nodes, repro.LoopNode{Name: name + "." + op, Op: idx})
+		}
+		return repro.RegionBlock{Name: name, Body: g}
+	}
+	entry := mk("entry", "fdiv.d", "ibr")
+	then := mk("then", "fadd", "store")
+	els := mk("else", "fdiv.s")
+	join := mk("join", "fdiv.d", "iadd")
+	entry.Succs = []int{1, 2}
+	then.Succs = []int{3}
+	els.Succs = []int{3}
+	region := &repro.Region{Name: "hammock", Blocks: []repro.RegionBlock{entry, then, els, join}}
+
+	s, err := repro.ScheduleRegion(region, red.Reduced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range region.Paths(4) {
+		// Strongest form: replay on the ORIGINAL description.
+		if err := repro.ReplayRegionPath(region, m.Expand(), s, p); err != nil {
+			t.Fatalf("path %v: %v", p, err)
+		}
+	}
+	// The join block's divide must be delayed by the dangling divider.
+	if s.Time[3][0] < 5 {
+		t.Errorf("join divide at %d, want pushed well past entry's dangling divider", s.Time[3][0])
+	}
+}

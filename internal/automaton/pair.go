@@ -1,0 +1,343 @@
+package automaton
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+	"repro/internal/resmodel"
+)
+
+// PairModule supports the unrestricted scheduling model on top of
+// finite-state automata, in the style the paper attributes to Bala &
+// Rubin (Section 2): per-cycle automaton states are stored for the whole
+// partial schedule, an operation may be inserted at any cycle, and an
+// insertion's additional resource requirements are *propagated* through
+// the stored states of adjacent cycles — the memory and computation
+// overhead the paper contrasts with reduced reservation tables.
+//
+// Check(op, t) first consults the stored forward state at cycle t (a
+// single table lookup, the automaton approach's strength), then verifies
+// the insertion by propagating the op's residual commitments across the
+// following span-1 cycles, re-issuing the operations scheduled there; a
+// stored reverse-automaton state per cycle gives a second O(1) rejection
+// test before propagation. Assign updates the stored states; Free
+// recomputes them forward from the freed cycle until they converge.
+//
+// PairModule implements query.Module for linear schedules only (the
+// paper notes that modulo schedules and assign&free are where automata
+// struggle most; AssignFree here falls back to explicit overlap tests
+// against the scheduled-instance list).
+type PairModule struct {
+	e   *resmodel.Expanded
+	fwd *Automaton
+	rev *Automaton
+
+	// issuedAt[t] lists the instances issued in cycle t.
+	issuedAt [][]pairInst
+	// fIn[t] is the forward-automaton state at entry of cycle t (all
+	// operations of cycles < t issued and advanced). len(fIn) >= horizon+1.
+	fIn []int32
+	// rIn[u] is the reverse-automaton state at entry of reverse cycle u.
+	// Reverse cycle u corresponds to forward cycle horizon-1-u.
+	rIn []int32
+	// horizon is one past the last cycle that can hold commitments.
+	horizon int
+
+	inst map[int]pairPlaced
+	ctr  query.Counters
+}
+
+type pairInst struct {
+	id int
+	op int
+}
+
+type pairPlaced struct {
+	op    int
+	cycle int
+}
+
+// NewPairModule builds the forward/reverse automaton pair for the
+// description and an empty schedule.
+func NewPairModule(e *resmodel.Expanded, lim Limit) (*PairModule, error) {
+	fwd, err := BuildForward(e, lim)
+	if err != nil {
+		return nil, err
+	}
+	rev, err := BuildReverse(e, lim)
+	if err != nil {
+		return nil, err
+	}
+	p := &PairModule{e: e, fwd: fwd, rev: rev, inst: map[int]pairPlaced{}}
+	p.growTo(32)
+	return p, nil
+}
+
+func (p *PairModule) growTo(horizon int) {
+	if horizon <= p.horizon {
+		return
+	}
+	for len(p.issuedAt) < horizon {
+		p.issuedAt = append(p.issuedAt, nil)
+	}
+	for len(p.fIn) < horizon+1 {
+		p.fIn = append(p.fIn, 0)
+	}
+	old := p.horizon
+	p.horizon = horizon
+	// Extending the horizon leaves forward states valid (empty cycles map
+	// to advance transitions of the last state).
+	st := p.fIn[old]
+	for t := old; t < horizon; t++ {
+		st = p.stepCycle(st, t)
+		p.fIn[t+1] = st
+	}
+	p.rebuildReverse()
+}
+
+// stepCycle issues every instance of cycle t in state st and advances; it
+// panics if the stored schedule itself conflicts, which would be an
+// internal-consistency bug.
+func (p *PairModule) stepCycle(st int32, t int) int32 {
+	w := Walker{a: p.fwd, cur: st}
+	for _, in := range p.issuedAt[t] {
+		if !w.Issue(in.op) {
+			panic("automaton: stored schedule became inconsistent")
+		}
+	}
+	w.Advance()
+	return w.cur
+}
+
+// rebuildReverse recomputes every reverse-automaton state. Operations are
+// processed in reverse time: an op issued at forward cycle t with span s
+// occupies reverse cycles starting at horizon-(t+s).
+func (p *PairModule) rebuildReverse() {
+	for len(p.rIn) < p.horizon+1 {
+		p.rIn = append(p.rIn, 0)
+	}
+	// Bucket ops by reverse issue cycle.
+	byRev := make([][]int, p.horizon+1)
+	for t, ins := range p.issuedAt {
+		for _, in := range ins {
+			s := p.e.Ops[in.op].Table.Span()
+			rt := p.horizon - (t + s)
+			if rt < 0 {
+				rt = 0
+			}
+			byRev[rt] = append(byRev[rt], in.op)
+		}
+	}
+	w := p.rev.Walk()
+	for u := 0; u <= p.horizon; u++ {
+		p.rIn[u] = w.State()
+		if u == p.horizon {
+			break
+		}
+		for _, op := range byRev[u] {
+			if !w.Issue(op) {
+				panic("automaton: reverse schedule inconsistent")
+			}
+		}
+		w.Advance()
+	}
+}
+
+// span returns the reservation-table span of op.
+func (p *PairModule) span(op int) int { return p.e.Ops[op].Table.Span() }
+
+// Schedulable implements query.Module (linear tables always succeed).
+func (p *PairModule) Schedulable(op int) bool { return true }
+
+// Check implements query.Module.
+func (p *PairModule) Check(op, cycle int) bool {
+	p.ctr.CheckCalls++
+	return p.check(op, cycle)
+}
+
+func (p *PairModule) check(op, cycle int) bool {
+	if cycle < 0 {
+		panic(fmt.Sprintf("automaton: negative cycle %d", cycle))
+	}
+	s := p.span(op)
+	p.growTo(cycle + s + 1)
+
+	// Fast rejection #1: forward state at entry of the cycle plus this
+	// cycle's own ops (covers all operations issued at cycles <= cycle).
+	w := Walker{a: p.fwd, cur: p.fIn[cycle]}
+	p.ctr.CheckWork++
+	for _, in := range p.issuedAt[cycle] {
+		if !w.Issue(in.op) {
+			panic("automaton: stored schedule inconsistent")
+		}
+	}
+	if !w.CanIssue(op) {
+		return false
+	}
+
+	// Fast rejection #2: reverse state at the op's reverse issue cycle
+	// (covers operations whose tables extend past this op's completion).
+	rt := p.horizon - (cycle + s)
+	if rt >= 0 && rt <= p.horizon {
+		p.ctr.CheckWork++
+		rw := Walker{a: p.rev, cur: p.rIn[rt]}
+		if !rw.CanIssue(op) {
+			return false
+		}
+	}
+
+	// Exact verification: propagate the inserted op's residual through
+	// the next span-1 cycles, re-issuing the operations stored there (the
+	// state-update overhead of supporting unrestricted scheduling).
+	if !w.Issue(op) {
+		return false
+	}
+	w.Advance()
+	st := w.cur
+	for u := cycle + 1; u < cycle+s; u++ {
+		p.ctr.CheckWork++
+		ww := Walker{a: p.fwd, cur: st}
+		for _, in := range p.issuedAt[u] {
+			if !ww.Issue(in.op) {
+				return false // an already-scheduled op would now conflict
+			}
+		}
+		ww.Advance()
+		st = ww.cur
+	}
+	return true
+}
+
+// Assign implements query.Module: store the instance and propagate the
+// state updates through both automata.
+func (p *PairModule) Assign(op, cycle, id int) {
+	p.ctr.AssignCalls++
+	s := p.span(op)
+	p.growTo(cycle + s + 1)
+	p.issuedAt[cycle] = append(p.issuedAt[cycle], pairInst{id: id, op: op})
+	p.inst[id] = pairPlaced{op: op, cycle: cycle}
+	// Recompute forward states from the insertion until convergence.
+	st := p.fIn[cycle]
+	for t := cycle; t < p.horizon; t++ {
+		p.ctr.AssignWork++
+		st = p.stepCycle(st, t)
+		if st == p.fIn[t+1] && t >= cycle+s {
+			break
+		}
+		p.fIn[t+1] = st
+	}
+	p.rebuildReverse()
+	p.ctr.AssignWork += int64(p.horizon) // reverse state storage update
+}
+
+// Free implements query.Module.
+func (p *PairModule) Free(op, cycle, id int) {
+	p.ctr.FreeCalls++
+	ins := p.issuedAt[cycle]
+	for i, in := range ins {
+		if in.id == id {
+			p.issuedAt[cycle] = append(ins[:i:i], ins[i+1:]...)
+			break
+		}
+	}
+	delete(p.inst, id)
+	st := p.fIn[cycle]
+	for t := cycle; t < p.horizon; t++ {
+		p.ctr.FreeWork++
+		st = p.stepCycle(st, t)
+		if st == p.fIn[t+1] {
+			break
+		}
+		p.fIn[t+1] = st
+	}
+	p.rebuildReverse()
+	p.ctr.FreeWork += int64(p.horizon)
+}
+
+// AssignFree implements query.Module. Finding the conflicting instances
+// is not a state-machine operation — the paper notes that backtracking
+// "appears to be more difficult" for automata — so it falls back to
+// explicit reservation-table overlap tests against every scheduled
+// instance.
+func (p *PairModule) AssignFree(op, cycle, id int) []int {
+	p.ctr.AssignFreeCalls++
+	var evicted []int
+	for otherID, pl := range p.inst {
+		p.ctr.AssignFreeWork++
+		if otherID == id {
+			continue
+		}
+		if tablesOverlap(p.e.Ops[op].Table, cycle, p.e.Ops[pl.op].Table, pl.cycle) {
+			evicted = append(evicted, otherID)
+		}
+	}
+	for _, ev := range evicted {
+		pl := p.inst[ev]
+		p.Free(pl.op, pl.cycle, ev)
+		p.ctr.FreeCalls-- // charged to this AssignFree, not to Free
+	}
+	p.Assign(op, cycle, id)
+	p.ctr.AssignCalls--
+	p.ctr.Unscheduled += int64(len(evicted))
+	if len(evicted) > 0 {
+		p.ctr.AssignFreeEvicting++
+	}
+	return evicted
+}
+
+func tablesOverlap(a resmodel.Table, ta int, b resmodel.Table, tb int) bool {
+	for _, ua := range a.Uses {
+		for _, ub := range b.Uses {
+			if ua.Resource == ub.Resource && ta+ua.Cycle == tb+ub.Cycle {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CheckWithAlt implements query.Module.
+func (p *PairModule) CheckWithAlt(origOp, cycle int) (int, bool) {
+	p.ctr.CheckWithAltCalls++
+	for _, op := range p.e.AltGroup[origOp] {
+		if p.Check(op, cycle) {
+			return op, true
+		}
+	}
+	return -1, false
+}
+
+// Counters implements query.Module.
+func (p *PairModule) Counters() *query.Counters { return &p.ctr }
+
+// Reset implements query.Module.
+func (p *PairModule) Reset() {
+	p.issuedAt = nil
+	p.fIn = nil
+	p.rIn = nil
+	p.horizon = 0
+	p.inst = map[int]pairPlaced{}
+	p.ctr.Reset()
+	p.growTo(32)
+}
+
+// AltGroupOf exposes alternative groups for schedulers.
+func (p *PairModule) AltGroupOf(origOp int) []int { return p.e.AltGroup[origOp] }
+
+// StatesStored reports the per-cycle automaton states currently kept —
+// the memory overhead of the unrestricted model ("two states per
+// operation must be stored"; here two states per schedule cycle).
+func (p *PairModule) StatesStored() int { return len(p.fIn) + len(p.rIn) }
+
+var _ query.Module = (*PairModule)(nil)
+
+// StateBytes implements query.MemoryFootprint: the per-cycle forward and
+// reverse automaton states ("two states per operation must be stored" —
+// here per cycle), 4 bytes each, plus the issue lists.
+func (p *PairModule) StateBytes() int {
+	n := 4 * (len(p.fIn) + len(p.rIn))
+	for _, ins := range p.issuedAt {
+		n += 8 * len(ins)
+	}
+	return n
+}

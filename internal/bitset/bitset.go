@@ -1,0 +1,290 @@
+// Package bitset provides dense, growable bit sets used throughout the
+// machine-description reduction pipeline: forbidden-latency sets, resource
+// usage masks, packed reservation-table words and automaton state keys.
+//
+// The zero value of Set is an empty set ready to use.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a dense bit set over non-negative integers. It grows on demand.
+// The zero value is an empty set.
+type Set struct {
+	words []uint64
+}
+
+// New returns a set with capacity preallocated for values in [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromSlice returns a set containing exactly the given values.
+func FromSlice(vals []int) *Set {
+	s := &Set{}
+	for _, v := range vals {
+		s.Add(v)
+	}
+	return s
+}
+
+func (s *Set) grow(word int) {
+	for len(s.words) <= word {
+		s.words = append(s.words, 0)
+	}
+}
+
+// Add inserts v into the set. v must be non-negative.
+func (s *Set) Add(v int) {
+	if v < 0 {
+		panic(fmt.Sprintf("bitset: Add(%d): negative value", v))
+	}
+	w := v / wordBits
+	s.grow(w)
+	s.words[w] |= 1 << uint(v%wordBits)
+}
+
+// Remove deletes v from the set. Removing an absent value is a no-op.
+func (s *Set) Remove(v int) {
+	if v < 0 {
+		return
+	}
+	w := v / wordBits
+	if w < len(s.words) {
+		s.words[w] &^= 1 << uint(v%wordBits)
+	}
+}
+
+// Contains reports whether v is in the set.
+func (s *Set) Contains(v int) bool {
+	if v < 0 {
+		return false
+	}
+	w := v / wordBits
+	return w < len(s.words) && s.words[w]&(1<<uint(v%wordBits)) != 0
+}
+
+// Len returns the number of elements in the set.
+func (s *Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes all elements, retaining capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// UnionWith adds every element of t to s.
+func (s *Set) UnionWith(t *Set) {
+	s.grow(len(t.words) - 1)
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// IntersectWith removes from s every element not in t.
+func (s *Set) IntersectWith(t *Set) {
+	for i := range s.words {
+		if i < len(t.words) {
+			s.words[i] &= t.words[i]
+		} else {
+			s.words[i] = 0
+		}
+	}
+}
+
+// DifferenceWith removes from s every element of t.
+func (s *Set) DifferenceWith(t *Set) {
+	for i := range s.words {
+		if i < len(t.words) {
+			s.words[i] &^= t.words[i]
+		}
+	}
+}
+
+// Intersects reports whether s and t share at least one element.
+func (s *Set) Intersects(t *Set) bool {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SubsetOf reports whether every element of s is also in t.
+func (s *Set) SubsetOf(t *Set) bool {
+	for i, w := range s.words {
+		var tw uint64
+		if i < len(t.words) {
+			tw = t.words[i]
+		}
+		if w&^tw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t contain exactly the same elements.
+func (s *Set) Equal(t *Set) bool {
+	n := len(s.words)
+	if len(t.words) > n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		var sw, tw uint64
+		if i < len(s.words) {
+			sw = s.words[i]
+		}
+		if i < len(t.words) {
+			tw = t.words[i]
+		}
+		if sw != tw {
+			return false
+		}
+	}
+	return true
+}
+
+// Min returns the smallest element, or -1 if the set is empty.
+func (s *Set) Min() int {
+	for i, w := range s.words {
+		if w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Max returns the largest element, or -1 if the set is empty.
+func (s *Set) Max() int {
+	for i := len(s.words) - 1; i >= 0; i-- {
+		if w := s.words[i]; w != 0 {
+			return i*wordBits + (wordBits - 1 - bits.LeadingZeros64(w))
+		}
+	}
+	return -1
+}
+
+// ForEach calls f on every element in increasing order. If f returns false
+// the iteration stops early.
+func (s *Set) ForEach(f func(v int) bool) {
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !f(i*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Slice returns the elements in increasing order.
+func (s *Set) Slice() []int {
+	out := make([]int, 0, s.Len())
+	s.ForEach(func(v int) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// ShiftedUnionWith adds (v + delta) to s for every v in t; every shifted
+// value must be non-negative.
+func (s *Set) ShiftedUnionWith(t *Set, delta int) {
+	if delta == 0 {
+		s.UnionWith(t)
+		return
+	}
+	t.ForEach(func(v int) bool {
+		s.Add(v + delta)
+		return true
+	})
+}
+
+// IntersectsShifted reports whether s and {v + delta : v in t} share an
+// element. Shifted values that fall below zero are ignored.
+func (s *Set) IntersectsShifted(t *Set, delta int) bool {
+	found := false
+	t.ForEach(func(v int) bool {
+		if s.Contains(v + delta) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Key returns a canonical string key for use as a map key. Two sets have the
+// same key iff they are Equal.
+func (s *Set) Key() string {
+	// Trim trailing zero words so equal sets with different capacity match.
+	n := len(s.words)
+	for n > 0 && s.words[n-1] == 0 {
+		n--
+	}
+	var b strings.Builder
+	b.Grow(n * 8)
+	for i := 0; i < n; i++ {
+		w := s.words[i]
+		for j := 0; j < 8; j++ {
+			b.WriteByte(byte(w >> uint(8*j)))
+		}
+	}
+	return b.String()
+}
+
+// String renders the set as "{a, b, c}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(v int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", v)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

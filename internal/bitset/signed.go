@@ -1,0 +1,111 @@
+package bitset
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Signed is a dense set of integers that may be negative, stored as a Set
+// shifted by a fixed offset. It is the representation used for
+// forbidden-latency sets, whose elements range over [-L, +L] where L bounds
+// the reservation-table span.
+//
+// The offset is fixed at construction; adding a value outside the declared
+// range panics, which turns range-analysis bugs into loud failures instead
+// of silently wrong scheduling constraints.
+type Signed struct {
+	lo   int // value represented by bit 0
+	bits Set
+}
+
+// NewSigned returns an empty set able to hold values in [lo, hi].
+func NewSigned(lo, hi int) *Signed {
+	if hi < lo {
+		panic(fmt.Sprintf("bitset: NewSigned(%d, %d): empty range", lo, hi))
+	}
+	s := &Signed{lo: lo}
+	s.bits.grow((hi - lo) / wordBits)
+	return s
+}
+
+// Lo returns the smallest representable value.
+func (s *Signed) Lo() int { return s.lo }
+
+// Add inserts v. v must be within the declared range.
+func (s *Signed) Add(v int) {
+	if v < s.lo {
+		panic(fmt.Sprintf("bitset: Signed.Add(%d): below range start %d", v, s.lo))
+	}
+	s.bits.Add(v - s.lo)
+}
+
+// Contains reports whether v is in the set.
+func (s *Signed) Contains(v int) bool {
+	return v >= s.lo && s.bits.Contains(v-s.lo)
+}
+
+// Len returns the number of elements.
+func (s *Signed) Len() int { return s.bits.Len() }
+
+// Empty reports whether the set has no elements.
+func (s *Signed) Empty() bool { return s.bits.Empty() }
+
+// Equal reports whether s and t hold exactly the same values. Sets with
+// different offsets compare by value, not by representation.
+func (s *Signed) Equal(t *Signed) bool {
+	if s.lo == t.lo {
+		return s.bits.Equal(&t.bits)
+	}
+	if s.Len() != t.Len() {
+		return false
+	}
+	eq := true
+	s.ForEach(func(v int) bool {
+		if !t.Contains(v) {
+			eq = false
+			return false
+		}
+		return true
+	})
+	return eq
+}
+
+// ForEach calls f on every element in increasing order; stops if f returns
+// false.
+func (s *Signed) ForEach(f func(v int) bool) {
+	s.bits.ForEach(func(b int) bool {
+		return f(b + s.lo)
+	})
+}
+
+// Slice returns the elements in increasing order.
+func (s *Signed) Slice() []int {
+	out := make([]int, 0, s.Len())
+	s.ForEach(func(v int) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// Clone returns an independent copy.
+func (s *Signed) Clone() *Signed {
+	return &Signed{lo: s.lo, bits: *s.bits.Clone()}
+}
+
+// String renders the set as "{a, b, c}".
+func (s *Signed) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(v int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", v)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

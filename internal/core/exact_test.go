@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/forbidden"
+	"repro/internal/resmodel"
+)
+
+// buildFromSelection constructs an expanded machine from a selection over
+// the class matrix, for independent verification of a cover.
+func buildFromSelection(cm *forbidden.Matrix, sel []Selected, names []string) *resmodel.Expanded {
+	e := &resmodel.Expanded{Name: "cover"}
+	tables := make([]resmodel.Table, cm.NumOps)
+	for si, s := range sel {
+		e.Resources = append(e.Resources, string(rune('a'+si%26))+string(rune('0'+si/26)))
+		for _, u := range s.Uses {
+			tables[u.Op].Uses = append(tables[u.Op].Uses, resmodel.Usage{Resource: si, Cycle: u.Cycle})
+		}
+	}
+	for ci := range tables {
+		tables[ci].Normalize()
+		name := "c"
+		if ci < len(names) {
+			name = names[ci]
+		}
+		e.Ops = append(e.Ops, resmodel.ExpandedOp{Name: name, Orig: ci, Table: tables[ci]})
+		e.AltGroup = append(e.AltGroup, []int{ci})
+	}
+	return e
+}
+
+func TestExactCoverExampleOptimal(t *testing.T) {
+	ex := figure1()
+	m := forbidden.Compute(ex)
+	cls := m.ComputeClasses()
+	cm := m.Collapse(cls)
+	pruned := Prune(cm, GeneratingSet(cm, nil))
+
+	res := ExactCover(cm, pruned, 0)
+	if !res.Optimal {
+		t.Fatalf("search did not complete (%d nodes)", res.Nodes)
+	}
+	// Figure 1's reduction (5 usages) is optimal for the example machine:
+	// resource {B@0, A@1} is forced, and F[B][B] = {1,2,3} needs three
+	// usages in one resource.
+	if res.Usages != 5 {
+		t.Fatalf("optimal usages = %d, want 5", res.Usages)
+	}
+	greedy := SelectCover(cm, pruned, Objective{Kind: ResUses})
+	if totalUsages(greedy) != res.Usages {
+		t.Errorf("greedy = %d usages, optimal = %d: greedy should be optimal here",
+			totalUsages(greedy), res.Usages)
+	}
+	// The optimal cover must itself be exact.
+	built := buildFromSelection(cm, res.Selected, nil)
+	if !forbidden.Compute(built).Equal(cm) {
+		t.Fatalf("optimal cover does not preserve the forbidden matrix")
+	}
+}
+
+// Property: the exact cover never uses more usages than the greedy
+// heuristic, and always preserves the forbidden matrix.
+func TestQuickExactCoverBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := resmodel.DefaultRandomConfig()
+		cfg.MaxOps = 3
+		cfg.MaxSpan = 5
+		cfg.MaxUsesPerOp = 3
+		e := resmodel.Random(rng, cfg).Expand()
+		m := forbidden.Compute(e)
+		cls := m.ComputeClasses()
+		cm := m.Collapse(cls)
+		pruned := Prune(cm, GeneratingSet(cm, nil))
+
+		greedy := SelectCover(cm, pruned, Objective{Kind: ResUses})
+		res := ExactCover(cm, pruned, 200000)
+		if res.Usages > totalUsages(greedy) {
+			return false // exact worse than its own initial bound
+		}
+		built := buildFromSelection(cm, res.Selected, nil)
+		return forbidden.Compute(built).Equal(cm)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGreedyGap measures the heuristic's gap to optimal over a corpus of
+// random machines — the justification for the paper's "fast and effective
+// heuristic".
+func TestGreedyGap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cfg := resmodel.DefaultRandomConfig()
+	cfg.MaxOps = 3
+	cfg.MaxSpan = 5
+	cfg.MaxUsesPerOp = 3
+	totalGreedy, totalOpt, solved := 0, 0, 0
+	for i := 0; i < 60; i++ {
+		e := resmodel.Random(rng, cfg).Expand()
+		m := forbidden.Compute(e)
+		cls := m.ComputeClasses()
+		cm := m.Collapse(cls)
+		pruned := Prune(cm, GeneratingSet(cm, nil))
+		greedy := totalUsages(SelectCover(cm, pruned, Objective{Kind: ResUses}))
+		res := ExactCover(cm, pruned, 300000)
+		if !res.Optimal {
+			continue
+		}
+		solved++
+		totalGreedy += greedy
+		totalOpt += res.Usages
+	}
+	if solved < 40 {
+		t.Fatalf("only %d/60 instances solved to optimality", solved)
+	}
+	if totalOpt == 0 {
+		return
+	}
+	gap := float64(totalGreedy-totalOpt) / float64(totalOpt)
+	t.Logf("greedy gap to optimal over %d instances: %.1f%% (%d vs %d usages)",
+		solved, 100*gap, totalGreedy, totalOpt)
+	if gap > 0.25 {
+		t.Errorf("greedy heuristic is %.0f%% above optimal, want <= 25%%", 100*gap)
+	}
+}

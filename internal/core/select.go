@@ -1,0 +1,301 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/forbidden"
+)
+
+// ObjectiveKind selects what the cover-selection heuristic minimizes.
+type ObjectiveKind int
+
+const (
+	// ResUses minimizes the number of resource usages in the reduced
+	// description — the right objective for the discrete reserved-table
+	// representation, whose query cost is linear in usages.
+	ResUses ObjectiveKind = iota
+	// KCycleWord minimizes the number of non-empty groups of K consecutive
+	// cycles ("words") in the reduced reservation tables, and secondarily
+	// maximizes the usages within those words — the right objective for the
+	// bitvector representation packing K cycle-bitvectors per memory word.
+	KCycleWord
+)
+
+// Objective configures the selection heuristic.
+type Objective struct {
+	Kind ObjectiveKind
+	// K is the number of cycle-bitvectors packed per memory word; used only
+	// by KCycleWord.
+	K int
+}
+
+func (o Objective) String() string {
+	switch o.Kind {
+	case ResUses:
+		return "res-uses"
+	case KCycleWord:
+		return fmt.Sprintf("%d-cycle-word uses", o.K)
+	}
+	return "unknown-objective"
+}
+
+// Validate reports configuration errors.
+func (o Objective) Validate() error {
+	switch o.Kind {
+	case ResUses:
+		return nil
+	case KCycleWord:
+		if o.K < 1 {
+			return fmt.Errorf("core: KCycleWord objective requires K >= 1, got %d", o.K)
+		}
+		return nil
+	}
+	return fmt.Errorf("core: unknown objective kind %d", o.Kind)
+}
+
+// Selected is one synthesized resource of the reduced machine description:
+// the subset of a generating-set resource's usages chosen by the cover.
+type Selected struct {
+	Res  *Resource
+	Uses []U
+}
+
+type candidate struct {
+	res  int
+	a, b uint32
+}
+
+// SelectCover implements Step 3 of the reduction: choose resources and
+// usages from the (pruned) generating set so that every non-negative
+// forbidden latency of the matrix is generated, minimizing the objective.
+//
+// The heuristic follows Section 5 of the paper: repeatedly take an
+// uncovered forbidden latency with the shortest candidate usage-pair list;
+// select the usage pair covering the most not-yet-covered latencies (ties:
+// larger sum of newly covered latencies); under KCycleWord, first prefer
+// pairs opening the fewest new words, and after each selection mark every
+// other usage of selected resources that falls in an already-open word.
+func SelectCover(m *forbidden.Matrix, G []*Resource, obj Objective) []Selected {
+	if err := obj.Validate(); err != nil {
+		panic(err)
+	}
+	numOps, span := m.NumOps, m.Span
+
+	// Universe of non-negative forbidden triples.
+	var universe []int64
+	for x := 0; x < numOps; x++ {
+		for y := 0; y < numOps; y++ {
+			m.Set(x, y).ForEach(func(f int) bool {
+				if f >= 0 {
+					universe = append(universe, tcode(x, y, f, numOps, span))
+				}
+				return true
+			})
+		}
+	}
+
+	// Candidate usage pairs per triple.
+	cands := make(map[int64][]candidate)
+	for ri, r := range G {
+		us := r.Uses()
+		for _, ua := range us {
+			for _, ub := range us {
+				f := ub.Cycle - ua.Cycle
+				if f < 0 {
+					continue
+				}
+				t := tcode(ua.Op, ub.Op, f, numOps, span)
+				cands[t] = append(cands[t], candidate{ri, encodeU(ua.Op, ua.Cycle), encodeU(ub.Op, ub.Cycle)})
+			}
+		}
+	}
+
+	// Process uncovered triples in order of ascending candidate-list length.
+	order := append([]int64(nil), universe...)
+	sort.Slice(order, func(i, j int) bool {
+		li, lj := len(cands[order[i]]), len(cands[order[j]])
+		if li != lj {
+			return li < lj
+		}
+		return order[i] < order[j]
+	})
+
+	covered := make(map[int64]bool, len(universe))
+	selected := make([]map[uint32]bool, len(G))
+	for i := range selected {
+		selected[i] = map[uint32]bool{}
+	}
+	wordOpen := map[int64]bool{} // (op, word) cells already non-empty
+	wordKey := func(op, cycle int) int64 {
+		return int64(op)*int64(span+1) + int64(cycle/obj.K)
+	}
+
+	// newUses lists the candidate's usages not yet selected in its resource.
+	newUses := func(c candidate) []uint32 {
+		var n []uint32
+		if !selected[c.res][c.a] {
+			n = append(n, c.a)
+		}
+		if c.b != c.a && !selected[c.res][c.b] {
+			n = append(n, c.b)
+		}
+		return n
+	}
+
+	// newlyCovered returns the uncovered triples that selecting the new
+	// usages in resource c.res would generate.
+	newlyCovered := func(res int, news []uint32) map[int64]struct{} {
+		out := map[int64]struct{}{}
+		base := make([]uint32, 0, len(selected[res])+len(news))
+		for u := range selected[res] {
+			base = append(base, u)
+		}
+		base = append(base, news...)
+		addPair := func(a, b uint32) {
+			ua, ub := decodeU(a), decodeU(b)
+			if f := ub.Cycle - ua.Cycle; f >= 0 {
+				t := tcode(ua.Op, ub.Op, f, numOps, span)
+				if !covered[t] {
+					out[t] = struct{}{}
+				}
+			}
+		}
+		for _, n := range news {
+			for _, u := range base {
+				addPair(n, u)
+				addPair(u, n)
+			}
+		}
+		return out
+	}
+
+	wordCost := func(news []uint32) int {
+		cost := 0
+		seen := map[int64]bool{}
+		for _, n := range news {
+			u := decodeU(n)
+			k := wordKey(u.Op, u.Cycle)
+			if !wordOpen[k] && !seen[k] {
+				seen[k] = true
+				cost++
+			}
+		}
+		return cost
+	}
+
+	sumF := func(ts map[int64]struct{}) int64 {
+		var s int64
+		for t := range ts {
+			s += t % int64(span) // the f component
+		}
+		return s
+	}
+
+	// freeMark selects, in every resource that already has selections,
+	// every unselected usage lying in an open word (KCycleWord only).
+	freeMark := func() {
+		if obj.Kind != KCycleWord {
+			return
+		}
+		for ri, sel := range selected {
+			if len(sel) == 0 {
+				continue
+			}
+			var free []uint32
+			for u := range G[ri].uses {
+				if sel[u] {
+					continue
+				}
+				du := decodeU(u)
+				if wordOpen[wordKey(du.Op, du.Cycle)] {
+					free = append(free, u)
+				}
+			}
+			if len(free) == 0 {
+				continue
+			}
+			sort.Slice(free, func(i, j int) bool { return free[i] < free[j] })
+			nc := newlyCovered(ri, free)
+			for _, u := range free {
+				sel[u] = true
+			}
+			for t := range nc {
+				covered[t] = true
+			}
+		}
+	}
+
+	for _, t := range order {
+		if covered[t] {
+			continue
+		}
+		cs := cands[t]
+		if len(cs) == 0 {
+			panic(fmt.Sprintf("core: forbidden latency triple %d has no candidate usage pair; generating set incomplete", t))
+		}
+		// Choose the best candidate under the objective.
+		bestIdx := -1
+		var bestNews []uint32
+		var bestCov map[int64]struct{}
+		var bestWordCost int
+		var bestSum int64
+		for i, c := range cs {
+			news := newUses(c)
+			cov := newlyCovered(c.res, news)
+			wc := 0
+			if obj.Kind == KCycleWord {
+				wc = wordCost(news)
+			}
+			s := sumF(cov)
+			better := false
+			switch {
+			case bestIdx < 0:
+				better = true
+			case obj.Kind == KCycleWord && wc != bestWordCost:
+				better = wc < bestWordCost
+			case len(cov) != len(bestCov):
+				better = len(cov) > len(bestCov)
+			case s != bestSum:
+				better = s > bestSum
+			case len(news) != len(bestNews):
+				better = len(news) < len(bestNews)
+			}
+			if better {
+				bestIdx, bestNews, bestCov, bestWordCost, bestSum = i, news, cov, wc, s
+			}
+		}
+		c := cs[bestIdx]
+		for _, u := range bestNews {
+			selected[c.res][u] = true
+			if obj.Kind == KCycleWord {
+				du := decodeU(u)
+				wordOpen[wordKey(du.Op, du.Cycle)] = true
+			}
+		}
+		for tc := range bestCov {
+			covered[tc] = true
+		}
+		freeMark()
+	}
+
+	// Assemble the reduced resources in deterministic order.
+	var out []Selected
+	for ri, sel := range selected {
+		if len(sel) == 0 {
+			continue
+		}
+		us := make([]U, 0, len(sel))
+		for u := range sel {
+			us = append(us, decodeU(u))
+		}
+		sort.Slice(us, func(i, j int) bool {
+			if us[i].Cycle != us[j].Cycle {
+				return us[i].Cycle < us[j].Cycle
+			}
+			return us[i].Op < us[j].Op
+		})
+		out = append(out, Selected{Res: G[ri], Uses: us})
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package ddg
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/resmodel"
+)
+
+// Parse reads a loop dependence graph in the textual format:
+//
+//	loop <name>
+//	node <name> <machine-op-name>
+//	edge <from-node> <to-node> delay <int> [dist <int>]
+//
+// Comments run from '#' to end of line. Node operands of edge lines refer
+// to node names. Operation names are resolved against the machine.
+func Parse(src string, m *resmodel.Machine) (*Graph, error) {
+	g := &Graph{}
+	nodeIdx := map[string]int{}
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		lineNo := ln + 1
+		switch fields[0] {
+		case "loop":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("ddg: line %d: want 'loop <name>'", lineNo)
+			}
+			g.Name = fields[1]
+		case "node":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("ddg: line %d: want 'node <name> <op>'", lineNo)
+			}
+			name, opName := fields[1], fields[2]
+			if _, dup := nodeIdx[name]; dup {
+				return nil, fmt.Errorf("ddg: line %d: duplicate node %q", lineNo, name)
+			}
+			op := m.OpIndex(opName)
+			if op < 0 {
+				return nil, fmt.Errorf("ddg: line %d: unknown operation %q on machine %q", lineNo, opName, m.Name)
+			}
+			nodeIdx[name] = len(g.Nodes)
+			g.Nodes = append(g.Nodes, Node{Name: name, Op: op})
+		case "edge":
+			if len(fields) < 5 || fields[3] != "delay" {
+				return nil, fmt.Errorf("ddg: line %d: want 'edge <from> <to> delay <int> [dist <int>]'", lineNo)
+			}
+			from, ok := nodeIdx[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("ddg: line %d: unknown node %q", lineNo, fields[1])
+			}
+			to, ok := nodeIdx[fields[2]]
+			if !ok {
+				return nil, fmt.Errorf("ddg: line %d: unknown node %q", lineNo, fields[2])
+			}
+			delay, err := strconv.Atoi(fields[4])
+			if err != nil {
+				return nil, fmt.Errorf("ddg: line %d: bad delay %q", lineNo, fields[4])
+			}
+			dist := 0
+			if len(fields) >= 7 && fields[5] == "dist" {
+				dist, err = strconv.Atoi(fields[6])
+				if err != nil {
+					return nil, fmt.Errorf("ddg: line %d: bad dist %q", lineNo, fields[6])
+				}
+			} else if len(fields) != 5 {
+				return nil, fmt.Errorf("ddg: line %d: trailing tokens", lineNo)
+			}
+			g.Edges = append(g.Edges, Edge{From: from, To: to, Delay: delay, Dist: dist})
+		default:
+			return nil, fmt.Errorf("ddg: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if g.Name == "" {
+		return nil, fmt.Errorf("ddg: missing 'loop <name>' line")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Print renders the graph in the format accepted by Parse.
+func Print(g *Graph, m *resmodel.Machine) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loop %s\n", g.Name)
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, "node %s %s\n", n.Name, m.Ops[n.Op].Name)
+	}
+	for _, e := range g.Edges {
+		fmt.Fprintf(&b, "edge %s %s delay %d", g.Nodes[e.From].Name, g.Nodes[e.To].Name, e.Delay)
+		if e.Dist != 0 {
+			fmt.Fprintf(&b, " dist %d", e.Dist)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

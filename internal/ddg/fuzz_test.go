@@ -1,0 +1,35 @@
+package ddg
+
+import (
+	"testing"
+
+	"repro/internal/machines"
+)
+
+// FuzzParseDDG: the loop parser never panics, and accepted graphs
+// round-trip through Print with identical structure and RecMII.
+func FuzzParseDDG(f *testing.F) {
+	f.Add("loop l\nnode a iadd\nnode b fmul.s\nedge a b delay 1\n")
+	f.Add("loop l\nnode a fadd.s\nedge a a delay 6 dist 1\n")
+	f.Add("loop l\n# empty body\n")
+	f.Add("edge x y delay")
+	f.Add("loop l\nnode a ld.w\nnode b st.w\nedge a b delay 22\nedge b a delay 1 dist 2\n")
+	m := machines.Cydra5()
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Parse(src, m)
+		if err != nil {
+			return
+		}
+		out := Print(g, m)
+		g2, err := Parse(out, m)
+		if err != nil {
+			t.Fatalf("accepted graph failed to re-parse:\n%s\nerror: %v", out, err)
+		}
+		if len(g2.Nodes) != len(g.Nodes) || len(g2.Edges) != len(g.Edges) {
+			t.Fatalf("round trip changed the graph")
+		}
+		if g.RecMII() != g2.RecMII() {
+			t.Fatalf("round trip changed RecMII")
+		}
+	})
+}

@@ -1,0 +1,28 @@
+package ddg
+
+import "repro/internal/resmodel"
+
+// MachineUsage adapts a machine description to the UsageCounter interface
+// used by ResMII.
+type MachineUsage struct {
+	M *resmodel.Machine
+}
+
+// NumResources implements UsageCounter.
+func (mu MachineUsage) NumResources() int { return len(mu.M.Resources) }
+
+// NumAlts implements UsageCounter.
+func (mu MachineUsage) NumAlts(op int) int { return len(mu.M.Ops[op].Alts) }
+
+// Uses implements UsageCounter.
+func (mu MachineUsage) Uses(op, alt, resource int) int {
+	n := 0
+	for _, u := range mu.M.Ops[op].Alts[alt].Uses {
+		if u.Resource == resource {
+			n++
+		}
+	}
+	return n
+}
+
+var _ UsageCounter = MachineUsage{}

@@ -1,0 +1,78 @@
+package loopgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ddg"
+	"repro/internal/resmodel"
+)
+
+// DAGConfig controls straight-line (acyclic) code generation, used to
+// exercise the acyclic list scheduler on the MIPS and Alpha machines.
+type DAGConfig struct {
+	Seed int64
+	// Blocks is the number of basic blocks to generate.
+	Blocks int
+	// MeanOps approximates the average block size.
+	MeanOps int
+	// OpNames is the instruction mix; each generated op is drawn uniformly.
+	OpNames []string
+}
+
+// DefaultDAG returns a generic scalar-code configuration for the machine.
+func DefaultDAG(m *resmodel.Machine) DAGConfig {
+	var names []string
+	for _, o := range m.Ops {
+		names = append(names, o.Name)
+	}
+	return DAGConfig{Seed: 1327, Blocks: 100, MeanOps: 24, OpNames: names}
+}
+
+// GenerateDAGs produces acyclic dependence graphs (basic blocks) over the
+// machine's operations. Each op depends on one or two earlier ops with
+// probability shaped to give realistic ILP (roughly 2-4 independent
+// chains).
+func GenerateDAGs(m *resmodel.Machine, cfg DAGConfig) ([]*ddg.Graph, error) {
+	if len(cfg.OpNames) == 0 {
+		return nil, fmt.Errorf("loopgen: DAG config has no op names")
+	}
+	ops := make([]int, len(cfg.OpNames))
+	for i, n := range cfg.OpNames {
+		ops[i] = m.OpIndex(n)
+		if ops[i] < 0 {
+			return nil, fmt.Errorf("loopgen: machine %q has no op %q", m.Name, n)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []*ddg.Graph
+	for b := 0; b < cfg.Blocks; b++ {
+		size := 2 + rng.Intn(2*cfg.MeanOps-2)
+		g := &ddg.Graph{Name: fmt.Sprintf("block%03d", b)}
+		for i := 0; i < size; i++ {
+			op := ops[rng.Intn(len(ops))]
+			g.Nodes = append(g.Nodes, ddg.Node{Name: fmt.Sprintf("n%d", i), Op: op})
+			if i == 0 {
+				continue
+			}
+			nIn := 1
+			if rng.Intn(3) == 0 {
+				nIn = 2
+			}
+			if rng.Intn(4) == 0 {
+				nIn = 0 // start of an independent chain
+			}
+			for k := 0; k < nIn; k++ {
+				from := rng.Intn(i)
+				g.Edges = append(g.Edges, ddg.Edge{
+					From: from, To: i, Delay: m.Ops[g.Nodes[from].Op].Latency,
+				})
+			}
+		}
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("loopgen: generated invalid DAG: %v", err)
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}

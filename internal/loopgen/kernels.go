@@ -1,0 +1,228 @@
+package loopgen
+
+import (
+	"fmt"
+
+	"repro/internal/ddg"
+	"repro/internal/resmodel"
+)
+
+// Kernel is a named, hand-written loop in the spirit of the Livermore
+// Fortran Kernels — the recognizable end of the paper's benchmark suite.
+// Each is authored in the textual ddg format against the Cydra 5
+// operation set, with realistic dependence structure (streaming loads,
+// reductions, first-order recurrences).
+type Kernel struct {
+	Name string
+	// What the loop computes, in scalar notation.
+	Desc string
+	Src  string
+}
+
+// Kernels returns the named kernels. They parse against any machine that
+// provides the Cydra 5 benchmark operations.
+func Kernels() []Kernel {
+	return []Kernel{
+		{
+			Name: "daxpy",
+			Desc: "y[i] = y[i] + a*x[i]   (Livermore/BLAS axpy: independent iterations)",
+			Src: `
+loop daxpy
+node ix   aadd
+node ldx  ld.w
+node ldy  ld.w
+node mul  fmul.s
+node add  fadd.s
+node sa   aadd
+node st   st.w
+node test icmp
+node br   brtop
+edge ix ix delay 2 dist 1
+edge ix ldx delay 2
+edge ix ldy delay 2
+edge ldx mul delay 22
+edge ldy add delay 22
+edge mul add delay 7
+edge sa sa delay 2 dist 1
+edge sa st delay 2
+edge add st delay 6
+edge test br delay 1
+`,
+		},
+		{
+			Name: "dot",
+			Desc: "s += x[i]*y[i]   (inner product: one FP-add recurrence)",
+			Src: `
+loop dot
+node ix   aadd
+node ldx  ld.w
+node ldy  ld.w
+node mul  fmul.s
+node acc  fadd.s
+node test icmp
+node br   brtop
+edge ix ix delay 2 dist 1
+edge ix ldx delay 2
+edge ix ldy delay 2
+edge ldx mul delay 22
+edge ldy mul delay 22
+edge mul acc delay 7
+edge acc acc delay 6 dist 1
+edge test br delay 1
+`,
+		},
+		{
+			Name: "firstdiff",
+			Desc: "d[i] = x[i+1] - x[i]   (Livermore K12: reuses the stream, no recurrence)",
+			Src: `
+loop firstdiff
+node ix   aadd
+node ld0  ld.w
+node ld1  ld.w
+node sub  fadd.s
+node sa   aadd
+node st   st.w
+node test icmp
+node br   brtop
+edge ix ix delay 2 dist 1
+edge ix ld0 delay 2
+edge ix ld1 delay 2
+edge ld0 sub delay 22
+edge ld1 sub delay 22
+edge sa sa delay 2 dist 1
+edge sub st delay 6
+edge sa st delay 2
+edge test br delay 1
+`,
+		},
+		{
+			Name: "tridiag",
+			Desc: "x[i] = z[i]*(y[i] - x[i-1])   (Livermore K5: first-order recurrence through two FP ops)",
+			Src: `
+loop tridiag
+node iy   aadd
+node ldy  ld.w
+node ldz  ld.w
+node sub  fadd.s
+node mul  fmul.s
+node sx   aadd
+node st   st.w
+node test icmp
+node br   brtop
+edge iy iy delay 2 dist 1
+edge iy ldy delay 2
+edge iy ldz delay 2
+edge ldy sub delay 22
+edge mul sub delay 7 dist 1
+edge sub mul delay 6
+edge ldz mul delay 22
+edge sx sx delay 2 dist 1
+edge mul st delay 7
+edge sx st delay 2
+edge test br delay 1
+`,
+		},
+		{
+			Name: "state2",
+			Desc: "s = s + a*s' (second-order-style recurrence at distance 2, back-substituted)",
+			Src: `
+loop state2
+node ix   aadd
+node ld   ld.w
+node mul  fmul.s
+node acc  fadd.s
+node test icmp
+node br   brtop
+edge ix ix delay 2 dist 1
+edge ix ld delay 2
+edge ld mul delay 22
+edge mul acc delay 7
+edge acc acc delay 6 dist 2
+edge test br delay 1
+`,
+		},
+		{
+			Name: "sgefa-inner",
+			Desc: "a[i] += t*b[i] with strided addresses (LINPACK elimination inner loop)",
+			Src: `
+loop sgefa
+node ia   aadd
+node ib   aadd
+node lda  ld.w
+node ldb  ld.w
+node mul  fmul.s
+node add  fadd.s
+node st   st.w
+node test icmp
+node br   brtop
+edge ia ia delay 2 dist 1
+edge ib ib delay 2 dist 1
+edge ia lda delay 2
+edge ib ldb delay 2
+edge ldb mul delay 22
+edge lda add delay 22
+edge mul add delay 7
+edge add st delay 6
+edge ia st delay 2
+edge test br delay 1
+`,
+		},
+		{
+			Name: "madd-chain",
+			Desc: "r[i] = (a[i]*b[i] + c[i]) using the fused multiply-add unit",
+			Src: `
+loop maddchain
+node ix   aadd
+node lda  ld.w
+node ldb  ld.w
+node ldc  ld.w
+node fma  fmadd
+node sa   aadd
+node st   st.w
+node test icmp
+node br   brtop
+edge ix ix delay 2 dist 1
+edge ix lda delay 2
+edge ix ldb delay 2
+edge ix ldc delay 2
+edge lda fma delay 22
+edge ldb fma delay 22
+edge ldc fma delay 22
+edge sa sa delay 2 dist 1
+edge fma st delay 9
+edge sa st delay 2
+edge test br delay 1
+`,
+		},
+		{
+			Name: "intsum",
+			Desc: "k += idx[i]   (integer reduction on the FP-adder unit's integer path)",
+			Src: `
+loop intsum
+node ix   aadd
+node ld   ld.w
+node acc  iadd
+node test icmp
+node br   brtop
+edge ix ix delay 2 dist 1
+edge ix ld delay 2
+edge ld acc delay 22
+edge acc acc delay 1 dist 1
+edge test br delay 1
+`,
+		},
+	}
+}
+
+// ParseKernels parses every kernel against the machine.
+func ParseKernels(m *resmodel.Machine) ([]*ddg.Graph, error) {
+	var out []*ddg.Graph
+	for _, k := range Kernels() {
+		g, err := ddg.Parse(k.Src, m)
+		if err != nil {
+			return nil, fmt.Errorf("loopgen: kernel %s: %w", k.Name, err)
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}

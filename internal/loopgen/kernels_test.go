@@ -1,0 +1,42 @@
+package loopgen
+
+import (
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/machines"
+)
+
+func TestKernelsParseAndBounds(t *testing.T) {
+	m := machines.Cydra5()
+	ks, err := ParseKernels(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != len(Kernels()) {
+		t.Fatalf("parsed %d of %d kernels", len(ks), len(Kernels()))
+	}
+	uc := ddg.MachineUsage{M: m}
+	wantRec := map[string]int{
+		"daxpy":       2,  // address-increment recurrence only
+		"dot":         6,  // fadd.s latency through the accumulator
+		"firstdiff":   2,  // streams only
+		"tridiag":     13, // sub(6) + mul(7) around the distance-1 recurrence
+		"state2":      3,  // ceil(6/2) dominates the 2-cycle address recurrence
+		"sgefa-inner": 2,
+		"madd-chain":  2,
+		"intsum":      2, // address recurrence; integer acc is 1/1
+	}
+	for i, k := range Kernels() {
+		g := ks[i]
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if got := g.RecMII(); got != wantRec[k.Name] {
+			t.Errorf("%s: RecMII = %d, want %d", k.Name, got, wantRec[k.Name])
+		}
+		if g.MII(uc) < g.RecMII() {
+			t.Errorf("%s: MII below RecMII", k.Name)
+		}
+	}
+}

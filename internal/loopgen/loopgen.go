@@ -1,0 +1,242 @@
+// Package loopgen generates the synthetic innermost-loop benchmark that
+// stands in for the paper's 1327 loops from the Perfect Club, SPEC-89 and
+// the Livermore Fortran Kernels (Section 8).
+//
+// The paper's loops are the Cydra 5 Fortran77 compiler's intermediate
+// representation after load-store elimination, recurrence
+// back-substitution and IF-conversion — unavailable outside HP Labs. The
+// generator reproduces the benchmark's published marginals instead
+// (Table 5: 2 to 161 operations per loop, average 17.54; recurrence
+// density tuned so the Iterative Modulo Scheduler achieves II = MII on
+// the vast majority of loops): each loop is a set of array streams
+// (address update, load), a dataflow body of FP/integer compute
+// operations, optional loop-carried accumulations, stores, and the
+// Cydra 5 loop-control operations (icmp + brtop). Memory and address
+// operations use the machine's dual-unit alternatives, matching the
+// paper's "21% of the operations have exactly one alternative".
+//
+// Generation is fully deterministic for a given seed.
+package loopgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/ddg"
+	"repro/internal/resmodel"
+)
+
+// Config tunes the generator.
+type Config struct {
+	// Loops is the number of loops to generate (the paper uses 1327).
+	Loops int
+	// Seed makes the benchmark reproducible.
+	Seed int64
+	// MeanOps and SigmaOps shape the lognormal loop-size distribution;
+	// sizes are clipped to [MinOps, MaxOps].
+	MeanOps  float64
+	SigmaOps float64
+	MinOps   int
+	MaxOps   int
+	// RecurrenceProb is the probability that a loop carries a reduction
+	// (e.g. a running sum) across iterations.
+	RecurrenceProb float64
+}
+
+// Default returns the configuration calibrated against Table 5.
+func Default() Config {
+	return Config{
+		Loops:          1327,
+		Seed:           19960521, // PLDI '96, May 21
+		MeanOps:        2.42,
+		SigmaOps:       0.85,
+		MinOps:         2,
+		MaxOps:         161,
+		RecurrenceProb: 0.45,
+	}
+}
+
+// ops used by the generator; all must exist on the target machine and
+// form the benchmark subset of Table 2.
+type opset struct {
+	ldw, stw, aadd, faddS, fmulS, fmadd, iadd, icmp, brtop int
+	latency                                                func(op int) int
+}
+
+func resolve(m *resmodel.Machine) (opset, error) {
+	idx := func(name string) int { return m.OpIndex(name) }
+	o := opset{
+		ldw: idx("ld.w"), stw: idx("st.w"), aadd: idx("aadd"),
+		faddS: idx("fadd.s"), fmulS: idx("fmul.s"), fmadd: idx("fmadd"),
+		iadd: idx("iadd"), icmp: idx("icmp"), brtop: idx("brtop"),
+	}
+	for _, v := range []int{o.ldw, o.stw, o.aadd, o.faddS, o.fmulS, o.fmadd, o.iadd, o.icmp, o.brtop} {
+		if v < 0 {
+			return o, fmt.Errorf("loopgen: machine %q lacks a benchmark operation", m.Name)
+		}
+	}
+	o.latency = func(op int) int { return m.Ops[op].Latency }
+	return o, nil
+}
+
+// Generate produces the benchmark loops for the given machine (normally
+// the Cydra 5 description).
+func Generate(m *resmodel.Machine, cfg Config) ([]*ddg.Graph, error) {
+	o, err := resolve(m)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	loops := make([]*ddg.Graph, 0, cfg.Loops)
+	for i := 0; i < cfg.Loops; i++ {
+		size := cfg.MinOps + int(math.Exp(rng.NormFloat64()*cfg.SigmaOps+cfg.MeanOps))
+		if size > cfg.MaxOps {
+			size = cfg.MaxOps
+		}
+		g := genLoop(rng, o, fmt.Sprintf("loop%04d", i), size, cfg.RecurrenceProb)
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("loopgen: generated invalid loop %d: %v", i, err)
+		}
+		loops = append(loops, g)
+	}
+	return loops, nil
+}
+
+// genLoop builds one loop of approximately the requested size.
+func genLoop(rng *rand.Rand, o opset, name string, size int, recProb float64) *ddg.Graph {
+	g := &ddg.Graph{Name: name}
+	add := func(op int, nm string) int {
+		g.Nodes = append(g.Nodes, ddg.Node{Name: nm, Op: op})
+		return len(g.Nodes) - 1
+	}
+	flow := func(from, to int) {
+		g.Edges = append(g.Edges, ddg.Edge{From: from, To: to, Delay: o.latency(g.Nodes[from].Op)})
+	}
+
+	// Loop control: induction update and loop-back branch; all but the
+	// tiniest loops also test the induction variable explicitly (brtop can
+	// branch on the ECR counter alone).
+	ctr := add(o.aadd, "i.next")
+	g.Edges = append(g.Edges, ddg.Edge{From: ctr, To: ctr, Delay: o.latency(o.aadd), Dist: 1})
+	br := add(o.brtop, "loop.br")
+	budget := size - 2
+	if size > 3 {
+		test := add(o.icmp, "i.test")
+		flow(ctr, test)
+		flow(test, br)
+		budget--
+	} else {
+		flow(ctr, br)
+	}
+
+	// Array streams: address update + load. Stream addresses are
+	// induction variables (loop-carried self-dependences).
+	nStreams := 1 + budget/10
+	if nStreams > 10 {
+		nStreams = 10
+	}
+	// After strength reduction several loads typically share one induction
+	// variable, so each address stream serves 1-3 loads.
+	var values []int // nodes producing data values usable as operands
+	for s := 0; s < nStreams && budget >= 2; s++ {
+		a := add(o.aadd, fmt.Sprintf("addr%d", s))
+		g.Edges = append(g.Edges, ddg.Edge{From: a, To: a, Delay: o.latency(o.aadd), Dist: 1})
+		budget--
+		nLoads := 1 + rng.Intn(3)
+		for l := 0; l < nLoads && budget >= 1; l++ {
+			ld := add(o.ldw, fmt.Sprintf("load%d_%d", s, l))
+			flow(a, ld)
+			values = append(values, ld)
+			budget--
+		}
+	}
+
+	if len(values) == 0 {
+		values = append(values, ctr) // tiny loop: the induction variable is the only value
+	}
+
+	// Dataflow body: compute operations consuming earlier values.
+	computeOps := []int{o.faddS, o.fmulS, o.fmadd, o.iadd}
+	nStores := budget / 10
+	for budget > nStores*2 {
+		op := computeOps[rng.Intn(len(computeOps))]
+		v := add(op, fmt.Sprintf("t%d", len(g.Nodes)))
+		nIn := 1 + rng.Intn(2)
+		for k := 0; k < nIn; k++ {
+			flow(values[rng.Intn(len(values))], v)
+		}
+		values = append(values, v)
+		budget--
+	}
+
+	// Loop-carried reduction: a compute op feeding itself next iteration
+	// (sum = sum + x). Distance occasionally 2 (back-substituted
+	// recurrences), which halves its RecMII contribution.
+	if rng.Float64() < recProb {
+		accOp := o.faddS
+		if rng.Intn(3) == 0 {
+			accOp = o.fmadd
+		}
+		acc := add(accOp, "acc")
+		flow(values[rng.Intn(len(values))], acc)
+		dist := 1
+		if rng.Intn(4) == 0 {
+			dist = 2
+		}
+		g.Edges = append(g.Edges, ddg.Edge{From: acc, To: acc, Delay: o.latency(accOp), Dist: dist})
+		values = append(values, acc)
+		budget--
+	}
+
+	// Stores of computed values; stores share one address stream.
+	if budget >= 2 {
+		a := add(o.aadd, "staddr")
+		g.Edges = append(g.Edges, ddg.Edge{From: a, To: a, Delay: o.latency(o.aadd), Dist: 1})
+		budget--
+		for s := 0; budget >= 1; s++ {
+			st := add(o.stw, fmt.Sprintf("store%d", s))
+			flow(a, st)
+			flow(values[rng.Intn(len(values))], st)
+			budget--
+		}
+	}
+	return g
+}
+
+// Stats summarizes a generated benchmark for Table 5-style reporting.
+type Stats struct {
+	Loops       int
+	MinOps      int
+	AvgOps      float64
+	MaxOps      int
+	AltFraction float64 // fraction of operations with exactly one alternative
+}
+
+// Summarize computes benchmark statistics.
+func Summarize(m *resmodel.Machine, loops []*ddg.Graph) Stats {
+	s := Stats{Loops: len(loops), MinOps: math.MaxInt32}
+	total, withAlt := 0, 0
+	for _, g := range loops {
+		n := len(g.Nodes)
+		total += n
+		if n < s.MinOps {
+			s.MinOps = n
+		}
+		if n > s.MaxOps {
+			s.MaxOps = n
+		}
+		for _, node := range g.Nodes {
+			if len(m.Ops[node.Op].Alts) == 2 {
+				withAlt++
+			}
+		}
+	}
+	if len(loops) > 0 {
+		s.AvgOps = float64(total) / float64(len(loops))
+	}
+	if total > 0 {
+		s.AltFraction = float64(withAlt) / float64(total)
+	}
+	return s
+}

@@ -1,0 +1,168 @@
+package loopgen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machines"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	m := machines.Cydra5()
+	cfg := Default()
+	cfg.Loops = 25
+	a, err := Generate(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if len(a[i].Nodes) != len(b[i].Nodes) || len(a[i].Edges) != len(b[i].Edges) {
+			t.Fatalf("loop %d differs across runs", i)
+		}
+		for j := range a[i].Nodes {
+			if a[i].Nodes[j] != b[i].Nodes[j] {
+				t.Fatalf("loop %d node %d differs", i, j)
+			}
+		}
+		for j := range a[i].Edges {
+			if a[i].Edges[j] != b[i].Edges[j] {
+				t.Fatalf("loop %d edge %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateAllValid(t *testing.T) {
+	m := machines.Cydra5()
+	cfg := Default()
+	cfg.Loops = 200
+	loops, err := Generate(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range loops {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		// Every loop ends in exactly one brtop.
+		brtop := m.OpIndex("brtop")
+		count := 0
+		for _, n := range g.Nodes {
+			if n.Op == brtop {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Fatalf("%s: %d brtop ops", g.Name, count)
+		}
+	}
+}
+
+func TestGenerateRejectsWrongMachine(t *testing.T) {
+	if _, err := Generate(machines.MIPS(), Default()); err == nil {
+		t.Fatalf("MIPS machine accepted (lacks Cydra ops)")
+	}
+}
+
+func TestSummarizeMarginals(t *testing.T) {
+	m := machines.Cydra5()
+	loops, err := Generate(m, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(m, loops)
+	if s.Loops != 1327 {
+		t.Errorf("Loops = %d", s.Loops)
+	}
+	if s.MinOps < 2 || s.MinOps > 3 {
+		t.Errorf("MinOps = %d, want 2-3 (Table 5: 2)", s.MinOps)
+	}
+	if s.AvgOps < 15.5 || s.AvgOps > 19.5 {
+		t.Errorf("AvgOps = %.2f, want ~17.54 (Table 5)", s.AvgOps)
+	}
+	if s.MaxOps != 161 {
+		t.Errorf("MaxOps = %d, want 161 (Table 5)", s.MaxOps)
+	}
+	if s.AltFraction < 0.15 || s.AltFraction > 0.45 {
+		t.Errorf("AltFraction = %.2f, want ~0.21", s.AltFraction)
+	}
+}
+
+// Property: generation never panics and always yields valid graphs with
+// sizes within bounds, for arbitrary seeds.
+func TestQuickGenerate(t *testing.T) {
+	m := machines.Cydra5()
+	f := func(seed int64) bool {
+		cfg := Default()
+		cfg.Seed = seed
+		cfg.Loops = 8
+		loops, err := Generate(m, cfg)
+		if err != nil {
+			return false
+		}
+		for _, g := range loops {
+			if len(g.Nodes) < cfg.MinOps || len(g.Nodes) > cfg.MaxOps {
+				return false
+			}
+			if g.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateDAGs(t *testing.T) {
+	m := machines.MIPS()
+	cfg := DefaultDAG(m)
+	cfg.Blocks = 40
+	dags, err := GenerateDAGs(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dags) != 40 {
+		t.Fatalf("blocks = %d", len(dags))
+	}
+	for _, g := range dags {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		for _, e := range g.Edges {
+			if e.Dist != 0 {
+				t.Fatalf("%s: DAG has loop-carried edge", g.Name)
+			}
+		}
+		if len(g.Nodes) < 2 {
+			t.Fatalf("%s: too small", g.Name)
+		}
+	}
+	// Determinism.
+	again, err := GenerateDAGs(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dags {
+		if len(again[i].Nodes) != len(dags[i].Nodes) || len(again[i].Edges) != len(dags[i].Edges) {
+			t.Fatalf("DAG generation not deterministic")
+		}
+	}
+}
+
+func TestGenerateDAGsErrors(t *testing.T) {
+	m := machines.MIPS()
+	if _, err := GenerateDAGs(m, DAGConfig{Blocks: 1, MeanOps: 4}); err == nil {
+		t.Error("empty op list accepted")
+	}
+	bad := DefaultDAG(m)
+	bad.OpNames = []string{"zzz"}
+	if _, err := GenerateDAGs(m, bad); err == nil {
+		t.Error("unknown op accepted")
+	}
+}

@@ -1,0 +1,65 @@
+package machines
+
+import "repro/internal/resmodel"
+
+// Alpha21064 returns a reconstruction of the DEC Alpha 21064 machine
+// description of Bala & Rubin, as used for Table 3 (12 operation classes,
+// 293 forbidden latencies, all < 58).
+//
+// The 21064 is dual-issue: one instruction to the integer side (EBox /
+// ABox / BBox) and one to the floating-point FBox per cycle, modeled as
+// the two issue slots E_SLOT and F_SLOT. The integer and FP pipelines are
+// fully pipelined; the structural hazards are the 21-cycle integer
+// multiplier and the non-pipelined FP divider (34 cycles single, 58
+// double — the source of the near-58-cycle forbidden latencies).
+func Alpha21064() *resmodel.Machine {
+	b := resmodel.NewBuilder("alpha-21064")
+	b.Resources(
+		"E_SLOT", "F_SLOT", // dual-issue slots
+		"IRF_R", "FRF_R", // register-file read ports
+		"E1", "E2", // EBox pipeline stages
+		"SHIFT",    // shifter/zapper
+		"IMUL",     // integer multiply array (not pipelined)
+		"AGU",      // ABox address generator
+		"DCACHE",   // data-cache port
+		"WBUF",     // write buffer
+		"BBOX",     // branch box
+		"IRF_W",    // integer register write port
+		"F1", "F2", // FBox pipeline stages (add path)
+		"FM1", "FM2", // FBox multiplier stages
+		"FDIV",  // FP divider (not pipelined)
+		"FRND",  // FP rounder
+		"FRF_W", // FP register write port
+	)
+
+	epipe := func(ob *resmodel.OpBuilder) *resmodel.OpBuilder {
+		return ob.Use("E_SLOT", 0).Use("IRF_R", 0)
+	}
+	fpipe := func(ob *resmodel.OpBuilder) *resmodel.OpBuilder {
+		return ob.Use("F_SLOT", 0).Use("FRF_R", 0)
+	}
+
+	epipe(b.Op("iadd", 1)).Stages(1, "E1", "E2").Use("IRF_W", 2)
+	// The shifter is held two cycles (shift+zap path), which distinguishes
+	// this class from iadd in the forbidden-latency matrix.
+	epipe(b.Op("ishift", 2)).UseRange("SHIFT", 1, 2).Use("E2", 2).Use("IRF_W", 3)
+	epipe(b.Op("imull", 23)).UseRange("IMUL", 1, 19).Use("IRF_W", 21)
+	epipe(b.Op("load", 3)).Use("AGU", 1).Use("DCACHE", 2).Use("IRF_W", 3)
+	epipe(b.Op("store", 1)).Use("AGU", 1).Use("DCACHE", 2).UseRange("WBUF", 3, 4)
+	epipe(b.Op("ibr", 1)).Use("BBOX", 1)
+	epipe(b.Op("jsr", 1)).Use("BBOX", 1).Use("IRF_W", 3)
+
+	fpipe(b.Op("fadd", 6)).Stages(1, "F1", "F2").Use("FRND", 3).Use("FRF_W", 6)
+	// The multiplier path reaches the rounder one cycle later than the add
+	// path, distinguishing the class from fadd.
+	fpipe(b.Op("fmul", 6)).Stages(1, "FM1", "FM2").Use("FM2", 3).Use("FRND", 4).Use("FRF_W", 6)
+	fpipe(b.Op("fdiv.s", 34)).Use("F1", 1).UseRange("FDIV", 2, 32).
+		Use("FRND", 33).Use("FRF_W", 34)
+	// Double divide holds the divider for 58 cycles, producing the
+	// near-58-cycle forbidden latencies the paper reports for the 21064.
+	fpipe(b.Op("fdiv.d", 63)).Use("F1", 1).UseRange("FDIV", 2, 59).
+		Use("FRND", 60).Use("FRF_W", 61)
+	fpipe(b.Op("fbr", 1)).Use("BBOX", 1)
+
+	return b.Build()
+}

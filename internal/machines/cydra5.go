@@ -1,0 +1,284 @@
+package machines
+
+import (
+	"fmt"
+
+	"repro/internal/resmodel"
+)
+
+// Cydra5 returns a reconstruction of the Cydra 5 machine description used
+// for Tables 1, 2 and 6 and Figure 4 — the most complex of the paper's
+// three machines (the original modeled 56 resources, 152 usage patterns,
+// 52 operation classes and 10223 forbidden latencies, all < 41).
+//
+// The modeled configuration matches the paper's: 7 functional units —
+// 2 memory ports, 2 address-generation units, 1 FP adder, 1 FP multiplier
+// and 1 branch unit. Each unit has input latches, dedicated register-read
+// ports (the Cydra 5's Context Register Matrix gives every unit private
+// ports — redundant resources the reducer eliminates), a stage chain that
+// is fully pipelined for simple operations and held for consecutive
+// cycles by partially pipelined ones (memory banks, the divide/sqrt
+// array, double-precision passes), and the shared result buses and
+// register write ports that couple the units together.
+//
+// Memory and address operations can execute on either of their two
+// identical units: they are authored as alternative resource usages, so
+// the expanded description has two alternative operations for each
+// (Section 3), matching the benchmark's "21% of operations have exactly
+// one alternative".
+func Cydra5() *resmodel.Machine {
+	b := resmodel.NewBuilder("cydra5")
+
+	// 56 resources.
+	var res []string
+	for p := 0; p < 2; p++ {
+		res = append(res,
+			fmt.Sprintf("M%d_LA", p),    // address latch
+			fmt.Sprintf("M%d_AG", p),    // address drive
+			fmt.Sprintf("M%d_BANK", p),  // memory bank (held)
+			fmt.Sprintf("M%d_ALIGN", p), // aligner
+			fmt.Sprintf("M%d_DATA", p),  // data latch
+			fmt.Sprintf("M%d_WBUF", p),  // store write buffer
+			fmt.Sprintf("M%d_RD", p),    // register read port
+		)
+	}
+	for p := 0; p < 2; p++ {
+		res = append(res,
+			fmt.Sprintf("A%d_LA", p),
+			fmt.Sprintf("A%d_S1", p),
+			fmt.Sprintf("A%d_S2", p),
+			fmt.Sprintf("A%d_RD", p),
+		)
+	}
+	res = append(res,
+		"FA_LA", "FA_LB", "FA_S1", "FA_S2", "FA_S3", "FA_S4", "FA_S5", "FA_S6",
+		"FA_RD0", "FA_RD1",
+		"FM_LA", "FM_LB", "FM_S1", "FM_S2", "FM_S3", "FM_S4", "FM_S5", "FM_S6",
+		"FM_DIV", "FM_RND", "FM_RD0", "FM_RD1",
+		"BR_LA", "BR_S1", "BR_S2", "BR_RD",
+		"RB0", "RB1", // shared result buses
+		"W0", "W1", // shared register write ports
+		"ICR",     // predicate (iteration control) register port
+		"LOOP",    // loop counter port
+		"CTX",     // context save port
+		"PRED_RD", // predicate read port
+	)
+	b.Resources(res...)
+
+	n := func(p int, s string) string { return fmt.Sprintf("M%d_%s", p, s) }
+	an := func(p int, s string) string { return fmt.Sprintf("A%d_%s", p, s) }
+
+	// Memory operations: one alternative per port. Loads return over the
+	// shared result bus of their port after the main-memory latency.
+	memOp := func(name string, lat int, build func(ob *resmodel.OpBuilder, p int)) {
+		ob := b.Op(name, lat)
+		for p := 0; p < 2; p++ {
+			if p > 0 {
+				ob = ob.Alt()
+			}
+			ob.Use(n(p, "LA"), 0).Use(n(p, "RD"), 0).Use(n(p, "AG"), 1)
+			build(ob, p)
+		}
+	}
+	rb := func(p int) string { return fmt.Sprintf("RB%d", p) }
+	w := func(p int) string { return fmt.Sprintf("W%d", p) }
+
+	memOp("ld.w", 22, func(ob *resmodel.OpBuilder, p int) {
+		ob.UseRange(n(p, "BANK"), 2, 3).Use(n(p, "ALIGN"), 8).Use(n(p, "DATA"), 9).
+			Use(rb(p), 21).Use(w(p), 22)
+	})
+	memOp("ld.h", 22, func(ob *resmodel.OpBuilder, p int) {
+		ob.UseRange(n(p, "BANK"), 2, 3).UseRange(n(p, "ALIGN"), 8, 9).Use(n(p, "DATA"), 9).
+			Use(rb(p), 21).Use(w(p), 22)
+	})
+	memOp("ld.d", 23, func(ob *resmodel.OpBuilder, p int) {
+		ob.UseRange(n(p, "BANK"), 2, 9).Use(n(p, "ALIGN"), 8).UseRange(n(p, "DATA"), 9, 10).
+			UseRange(rb(p), 21, 22).UseRange(w(p), 22, 23)
+	})
+	// Strided double-width load: two bank accesses back to back.
+	memOp("ld.x2", 24, func(ob *resmodel.OpBuilder, p int) {
+		ob.UseRange(n(p, "BANK"), 2, 13).Use(n(p, "ALIGN"), 8).Use(n(p, "ALIGN"), 10).
+			Use(n(p, "DATA"), 9).Use(n(p, "DATA"), 11).
+			UseRange(rb(p), 22, 23).UseRange(w(p), 23, 24)
+	})
+	memOp("st.w", 1, func(ob *resmodel.OpBuilder, p int) {
+		ob.UseRange(n(p, "BANK"), 2, 3).Use(n(p, "DATA"), 2).Use(n(p, "WBUF"), 2)
+	})
+	memOp("st.h", 1, func(ob *resmodel.OpBuilder, p int) {
+		ob.UseRange(n(p, "BANK"), 2, 3).Use(n(p, "DATA"), 2).Use(n(p, "ALIGN"), 2).Use(n(p, "WBUF"), 2)
+	})
+	memOp("st.d", 1, func(ob *resmodel.OpBuilder, p int) {
+		ob.UseRange(n(p, "BANK"), 2, 9).UseRange(n(p, "DATA"), 2, 3).UseRange(n(p, "WBUF"), 2, 3)
+	})
+	memOp("prefetch", 0, func(ob *resmodel.OpBuilder, p int) {
+		ob.UseRange(n(p, "BANK"), 2, 7)
+	})
+
+	// Address operations: one alternative per address unit; results return
+	// over the shared bus of the unit's side.
+	adrOp := func(name string, lat int, build func(ob *resmodel.OpBuilder, p int)) {
+		ob := b.Op(name, lat)
+		for p := 0; p < 2; p++ {
+			if p > 0 {
+				ob = ob.Alt()
+			}
+			ob.Use(an(p, "LA"), 0).Use(an(p, "RD"), 0)
+			build(ob, p)
+		}
+	}
+	adrOp("aadd", 2, func(ob *resmodel.OpBuilder, p int) {
+		ob.Use(an(p, "S1"), 1).Use(an(p, "S2"), 2).Use(rb(p), 2)
+	})
+	adrOp("amul", 4, func(ob *resmodel.OpBuilder, p int) {
+		ob.UseRange(an(p, "S1"), 1, 2).UseRange(an(p, "S2"), 3, 4).Use(rb(p), 4)
+	})
+	adrOp("amove", 1, func(ob *resmodel.OpBuilder, p int) {
+		ob.Use(an(p, "S1"), 1).Use(rb(p), 1)
+	})
+	adrOp("acmp", 1, func(ob *resmodel.OpBuilder, p int) {
+		ob.Use(an(p, "S1"), 1).Use("ICR", 2)
+	})
+
+	// FP adder unit: fully pipelined singles, double-pumped doubles, plus
+	// the integer ALU operations the Cydra 5 executes on this unit.
+	fa := func(name string, lat int) *resmodel.OpBuilder {
+		return b.Op(name, lat).Use("FA_LA", 0).Use("FA_LB", 0).
+			Use("FA_RD0", 0).Use("FA_RD1", 0)
+	}
+	fa("fadd.s", 6).Stages(1, "FA_S1", "FA_S2", "FA_S3", "FA_S4", "FA_S5", "FA_S6").
+		Use("RB0", 6).Use("W0", 7)
+	fa("fadd.d", 8).
+		UseRange("FA_S1", 1, 2).UseRange("FA_S2", 2, 3).UseRange("FA_S3", 3, 4).
+		UseRange("FA_S4", 4, 5).UseRange("FA_S5", 5, 6).UseRange("FA_S6", 6, 7).
+		UseRange("RB0", 7, 8).UseRange("W0", 8, 9)
+	fa("iadd", 1).Use("FA_S1", 1).Use("RB0", 1).Use("W0", 2)
+	fa("ishift", 2).Use("FA_S1", 1).Use("FA_S2", 2).Use("RB0", 2).Use("W0", 3)
+	fa("icmp", 1).Use("FA_S1", 1).Use("ICR", 2)
+	fa("fcmp.pred", 2).Use("FA_S1", 1).Use("FA_S2", 2).Use("ICR", 3)
+	fa("fcvt", 4).Use("FA_S1", 1).Use("FA_S3", 2).Use("FA_S6", 3).Use("RB0", 4).Use("W0", 5)
+	fa("ftrunc", 5).Use("FA_S1", 1).Use("FA_S4", 3).Use("FA_S6", 4).Use("RB0", 5).Use("W0", 6)
+	fa("fdtoi", 3).Use("FA_S1", 1).Use("FA_S5", 2).Use("RB0", 3).Use("W0", 4)
+	fa("fmin", 2).Use("FA_S1", 1).Use("FA_S6", 2).Use("RB0", 2).Use("W0", 3)
+	fa("select", 1).Use("FA_S6", 1).Use("RB0", 1).Use("W0", 2)
+	b.Op("fneg", 1).Use("FA_LA", 0).Use("FA_RD0", 0).
+		Use("FA_S6", 1).Use("RB0", 1).Use("W0", 2)
+
+	// FP multiplier unit: pipelined multiplies, the iterative divide/sqrt
+	// array held for many consecutive cycles, and integer multiply.
+	fm := func(name string, lat int) *resmodel.OpBuilder {
+		return b.Op(name, lat).Use("FM_LA", 0).Use("FM_LB", 0).
+			Use("FM_RD0", 0).Use("FM_RD1", 0)
+	}
+	fm("fmul.s", 7).Stages(1, "FM_S1", "FM_S2", "FM_S3", "FM_S4", "FM_S5", "FM_S6").
+		Use("FM_RND", 7).Use("RB1", 7).Use("W1", 8)
+	fm("fmul.d", 10).
+		UseRange("FM_S1", 1, 2).UseRange("FM_S2", 2, 3).UseRange("FM_S3", 3, 4).
+		UseRange("FM_S4", 4, 5).UseRange("FM_S5", 5, 6).UseRange("FM_S6", 6, 7).
+		UseRange("FM_RND", 8, 9).UseRange("RB1", 9, 10).UseRange("W1", 10, 11)
+	fm("fmadd", 9).Stages(1, "FM_S1", "FM_S2", "FM_S3", "FM_S4", "FM_S5", "FM_S6").
+		UseRange("FM_RND", 7, 8).Use("RB1", 8).Use("W1", 9)
+	fm("imul", 4).Use("FM_S1", 1).Use("FM_S2", 2).Use("FM_S3", 3).Use("RB1", 4).Use("W1", 5)
+	fm("imulh", 5).Use("FM_S1", 1).Use("FM_S2", 2).Use("FM_S3", 3).Use("FM_S4", 4).
+		Use("RB1", 5).Use("W1", 6)
+	fm("fdiv.s", 20).Use("FM_S1", 1).UseRange("FM_DIV", 2, 17).Use("FM_S6", 18).
+		Use("FM_RND", 19).Use("RB1", 20).Use("W1", 21)
+	fm("fdiv.d", 34).Use("FM_S1", 1).UseRange("FM_DIV", 2, 31).Use("FM_S6", 32).
+		Use("FM_RND", 33).Use("RB1", 34).Use("W1", 35)
+	fm("sqrt.s", 22).Use("FM_S1", 1).UseRange("FM_DIV", 2, 19).Use("FM_S6", 20).
+		Use("FM_RND", 21).Use("RB1", 22).Use("W1", 23)
+	fm("sqrt.d", 38).Use("FM_S1", 1).UseRange("FM_DIV", 2, 35).Use("FM_S6", 36).
+		Use("FM_RND", 37).Use("RB1", 38).Use("W1", 39)
+	fm("recip", 12).Use("FM_S1", 1).UseRange("FM_DIV", 2, 9).Use("FM_S6", 10).
+		Use("FM_RND", 11).Use("RB1", 12).Use("W1", 13)
+	fm("rsqrt.s", 24).Use("FM_S1", 1).UseRange("FM_DIV", 2, 21).Use("FM_S6", 22).
+		Use("FM_RND", 23).Use("RB1", 24).Use("W1", 25)
+	fm("rsqrt.d", 36).Use("FM_S1", 1).UseRange("FM_DIV", 2, 33).Use("FM_S6", 34).
+		Use("FM_RND", 35).Use("RB1", 36).Use("W1", 37)
+	fm("fmod", 16).Use("FM_S1", 1).UseRange("FM_DIV", 2, 13).Use("FM_S6", 14).
+		Use("FM_RND", 15).Use("RB1", 16).Use("W1", 17)
+	fm("idiv", 16).Use("FM_S1", 1).UseRange("FM_DIV", 2, 15).Use("RB1", 16).Use("W1", 17)
+	fm("irem", 18).Use("FM_S1", 1).UseRange("FM_DIV", 2, 15).Use("FM_S6", 16).
+		Use("RB1", 17).Use("W1", 18)
+
+	// Branch unit: loop control (brtop drives the ECR/loop machinery of
+	// the Cydra 5's modulo-scheduling hardware), predicated branches and
+	// calls.
+	br := func(name string, lat int) *resmodel.OpBuilder {
+		return b.Op(name, lat).Use("BR_LA", 0).Use("BR_RD", 0)
+	}
+	br("brtop", 1).Use("BR_S1", 1).Use("BR_S2", 2).Use("LOOP", 2).Use("ICR", 3)
+	br("br.cond", 1).Use("PRED_RD", 0).Use("BR_S1", 1).Use("BR_S2", 2)
+	br("br.uncond", 1).Use("BR_S1", 1)
+	br("call", 2).Use("BR_S1", 1).Use("BR_S2", 2).UseRange("CTX", 2, 3).Use("RB1", 2).Use("W1", 3)
+	br("ret", 2).Use("BR_S1", 1).Use("BR_S2", 2).Use("CTX", 2)
+	br("pred.set", 1).Use("BR_S1", 1).Use("ICR", 2)
+
+	return b.Build()
+}
+
+// cydra5SubsetOps lists the operations "actually used in the 1327 loop
+// benchmark" (Table 2): the memory, address, FP-add-unit, FP-multiply-unit
+// and loop-control operations that innermost Fortran loops need. The two
+// memory ops and the address op each expand into two alternative
+// operations, giving 12 operation classes.
+var cydra5SubsetOps = []string{
+	"ld.w", "st.w", "aadd", // x2 alternatives each = 6 classes
+	"fadd.s", "fmul.s", "fmadd", "iadd", "icmp", "brtop",
+}
+
+// Cydra5Subset returns the Cydra 5 description restricted to the
+// operations used by the loop benchmark, with unused resources dropped
+// (the paper's subset models 39 resources and 12 operation classes).
+func Cydra5Subset() *resmodel.Machine {
+	return Subset(Cydra5(), cydra5SubsetOps)
+}
+
+// Subset restricts a machine to the named operations and drops resources
+// that no remaining operation uses.
+func Subset(m *resmodel.Machine, opNames []string) *resmodel.Machine {
+	want := map[string]bool{}
+	for _, n := range opNames {
+		want[n] = true
+	}
+	used := map[int]bool{}
+	var ops []resmodel.Operation
+	for _, o := range m.Ops {
+		if !want[o.Name] {
+			continue
+		}
+		ops = append(ops, o)
+		for _, a := range o.Alts {
+			for _, u := range a.Uses {
+				used[u.Resource] = true
+			}
+		}
+	}
+	if len(ops) != len(opNames) {
+		panic(fmt.Sprintf("machines: Subset: found %d of %d requested ops", len(ops), len(opNames)))
+	}
+	remap := make([]int, len(m.Resources))
+	sub := &resmodel.Machine{Name: m.Name + "-subset"}
+	for ri, name := range m.Resources {
+		if used[ri] {
+			remap[ri] = len(sub.Resources)
+			sub.Resources = append(sub.Resources, name)
+		} else {
+			remap[ri] = -1
+		}
+	}
+	for _, o := range ops {
+		co := resmodel.Operation{Name: o.Name, Latency: o.Latency}
+		for _, a := range o.Alts {
+			t := resmodel.Table{}
+			for _, u := range a.Uses {
+				t.Uses = append(t.Uses, resmodel.Usage{Resource: remap[u.Resource], Cycle: u.Cycle})
+			}
+			co.Alts = append(co.Alts, t)
+		}
+		sub.Ops = append(sub.Ops, co)
+	}
+	if err := sub.Validate(); err != nil {
+		panic(err)
+	}
+	return sub
+}

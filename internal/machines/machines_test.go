@@ -1,0 +1,211 @@
+package machines
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/forbidden"
+	"repro/internal/mdl"
+	"repro/internal/query"
+	"repro/internal/resmodel"
+)
+
+// stats captures the shape metrics the paper reports in its table captions.
+type stats struct {
+	resources, classes, fls, maxLat int
+	reducedRes                      int
+	origUses, reducedUses           float64
+}
+
+func measure(t *testing.T, m *resmodel.Machine) stats {
+	t.Helper()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("%s: Validate: %v", m.Name, err)
+	}
+	e := m.Expand()
+	mat := forbidden.Compute(e)
+	cls := mat.ComputeClasses()
+	cm := mat.Collapse(cls)
+	res := core.Reduce(e, core.Objective{Kind: core.ResUses})
+	if err := res.Verify(); err != nil {
+		t.Fatalf("%s: reduction changes constraints: %v", m.Name, err)
+	}
+	orig := make([]resmodel.Table, 0, cls.NumClasses())
+	for _, rep := range cls.Rep {
+		orig = append(orig, e.Ops[rep].Table)
+	}
+	return stats{
+		resources:   len(m.Resources),
+		classes:     cls.NumClasses(),
+		fls:         cm.NonnegCount(),
+		maxLat:      cm.MaxLatency(),
+		reducedRes:  res.NumResources(),
+		origUses:    core.AvgUsesPerOp(orig),
+		reducedUses: core.AvgUsesPerOp(res.ClassTables),
+	}
+}
+
+// within checks v is in [lo, hi].
+func within(t *testing.T, name, metric string, v, lo, hi int) {
+	t.Helper()
+	if v < lo || v > hi {
+		t.Errorf("%s: %s = %d, want within [%d, %d]", name, metric, v, lo, hi)
+	}
+}
+
+// TestMIPSShape checks the reconstruction against Table 4's caption (15
+// classes, 428 forbidden latencies all < 34, 22 resources reducing to 7
+// with usages 17.3 -> 6.2). Loose bands: the original tables were never
+// published, so only the shape must hold.
+func TestMIPSShape(t *testing.T) {
+	s := measure(t, MIPS())
+	within(t, "mips", "resources", s.resources, 18, 26)
+	within(t, "mips", "classes", s.classes, 12, 17)
+	within(t, "mips", "forbidden latencies", s.fls, 250, 600)
+	within(t, "mips", "max latency", s.maxLat, 25, 33)
+	within(t, "mips", "reduced resources", s.reducedRes, 5, 11)
+	if s.reducedUses >= s.origUses/2 {
+		t.Errorf("mips: usages %0.1f -> %0.1f, want at least 2x reduction", s.origUses, s.reducedUses)
+	}
+}
+
+// TestAlphaShape checks against Table 3's caption (12 classes, 293
+// forbidden latencies, all < 58).
+func TestAlphaShape(t *testing.T) {
+	s := measure(t, Alpha21064())
+	within(t, "alpha", "classes", s.classes, 11, 13)
+	within(t, "alpha", "forbidden latencies", s.fls, 230, 360)
+	within(t, "alpha", "max latency", s.maxLat, 50, 57)
+	if s.reducedUses >= s.origUses/1.8 {
+		t.Errorf("alpha: usages %0.1f -> %0.1f, want strong reduction", s.origUses, s.reducedUses)
+	}
+}
+
+// TestCydra5Shape checks against Table 1's caption (56 resources, 52
+// classes, 10223 forbidden latencies all < 41; reduction 56 -> 15
+// resources, usages 18.2 -> 8.3, a 2.2x factor). Our reconstruction is
+// sparser in absolute forbidden-latency count (see EXPERIMENTS.md) but
+// must match the structural shape and the reduction factors.
+func TestCydra5Shape(t *testing.T) {
+	s := measure(t, Cydra5())
+	within(t, "cydra5", "resources", s.resources, 56, 56)
+	within(t, "cydra5", "classes", s.classes, 45, 58)
+	within(t, "cydra5", "forbidden latencies", s.fls, 2000, 11000)
+	within(t, "cydra5", "max latency", s.maxLat, 33, 40)
+	within(t, "cydra5", "reduced resources", s.reducedRes, 12, 25)
+	factor := s.origUses / s.reducedUses
+	if factor < 1.8 {
+		t.Errorf("cydra5: usage reduction factor %.2f, want >= 1.8 (paper: 2.2)", factor)
+	}
+}
+
+// TestCydra5SubsetShape checks against Table 2's caption (12 classes; the
+// paper's subset had 166 forbidden latencies and reduced usages
+// 9.4 -> 2.9).
+func TestCydra5SubsetShape(t *testing.T) {
+	s := measure(t, Cydra5Subset())
+	if s.classes != 12 {
+		t.Errorf("cydra5-subset: classes = %d, want 12", s.classes)
+	}
+	within(t, "cydra5-subset", "forbidden latencies", s.fls, 40, 250)
+	if s.reducedUses > 3.5 {
+		t.Errorf("cydra5-subset: reduced usages = %.2f, want <= 3.5 (paper: 2.9)", s.reducedUses)
+	}
+}
+
+// TestAlternativesPresent: the benchmark machines model the paper's "21%
+// of operations have exactly one alternative" via the dual memory ports
+// and dual address units.
+func TestAlternativesPresent(t *testing.T) {
+	m := Cydra5()
+	alts := 0
+	for _, o := range m.Ops {
+		switch len(o.Alts) {
+		case 1:
+		case 2:
+			alts++
+		default:
+			t.Errorf("op %s has %d alternatives, want 1 or 2", o.Name, len(o.Alts))
+		}
+	}
+	if alts < 8 {
+		t.Errorf("only %d ops with alternatives, want >= 8", alts)
+	}
+}
+
+// TestByNameAndPrint: every built-in machine is reachable by name, round
+// trips through the mdl printer/parser, and preserves its forbidden
+// matrix across the round trip.
+func TestByNameAndPrint(t *testing.T) {
+	for _, name := range Names() {
+		m := ByName(name)
+		if m == nil {
+			t.Fatalf("ByName(%q) = nil", name)
+		}
+		src := mdl.Print(m)
+		m2, err := mdl.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", name, err)
+		}
+		f1 := forbidden.Compute(m.Expand())
+		f2 := forbidden.Compute(m2.Expand())
+		if !f1.Equal(f2) {
+			t.Errorf("%s: round trip changed the forbidden matrix", name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Errorf("ByName(nope) != nil")
+	}
+}
+
+// TestReducedDescriptionsAnswerQueriesIdentically replays the paper's
+// verification on real machines: a deterministic query workload gets
+// identical answers from the original and reduced Cydra 5 descriptions.
+func TestReducedDescriptionsAnswerQueriesIdentically(t *testing.T) {
+	e := Cydra5().Expand()
+	red := core.Reduce(e, core.Objective{Kind: core.KCycleWord, K: 4})
+	if err := red.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	k2 := query.MaxCyclesPerWord(len(red.Reduced.Resources), 64)
+	origM := query.NewDiscrete(e, 11)
+	redM := query.NewDiscrete(red.Reduced, 11)
+	redB, err := query.NewBitvector(red.Reduced, k2, 64, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := 0
+	for cyc := 0; cyc < 200; cyc++ {
+		op := (cyc * 7) % len(e.Ops)
+		want := origM.Check(op, cyc)
+		if got := redM.Check(op, cyc); got != want {
+			t.Fatalf("cycle %d op %s: reduced discrete answer %v, original %v", cyc, e.Ops[op].Name, got, want)
+		}
+		if got := redB.Check(op, cyc); got != want {
+			t.Fatalf("cycle %d op %s: reduced bitvector answer %v, original %v", cyc, e.Ops[op].Name, got, want)
+		}
+		if want && cyc%3 == 0 {
+			origM.Assign(op, cyc, id)
+			redM.Assign(op, cyc, id)
+			redB.Assign(op, cyc, id)
+			id++
+		}
+	}
+	if origM.Scheduled() == 0 {
+		t.Fatalf("workload scheduled nothing")
+	}
+}
+
+// TestPA7100Shape: the PA-RISC model (Section 2's third processor family)
+// reduces like the others, with divide-driven forbidden latencies.
+func TestPA7100Shape(t *testing.T) {
+	s := measure(t, PA7100())
+	within(t, "parisc", "classes", s.classes, 10, 13)
+	within(t, "parisc", "max latency", s.maxLat, 10, 14)
+	if s.reducedRes >= s.resources {
+		t.Errorf("parisc: no resource reduction (%d -> %d)", s.resources, s.reducedRes)
+	}
+	if s.reducedUses >= s.origUses {
+		t.Errorf("parisc: no usage reduction (%.1f -> %.1f)", s.origUses, s.reducedUses)
+	}
+}

@@ -1,0 +1,88 @@
+package machines
+
+import "repro/internal/resmodel"
+
+// MIPS returns a reconstruction of the MIPS R3000/R3010 machine
+// description used by Proebsting & Fraser and adopted by the paper for
+// Table 4 (15 operation classes, 428 forbidden latencies, all < 34;
+// 22 original resources reducing to 7).
+//
+// The R3000 integer pipeline (IF RD ALU MEM WB) is fully interlocked and
+// fully pipelined: its stage chain contributes only issue-slot-style
+// constraints, i.e. pure redundancy for the reducer. The structural
+// hazards live in the multiply/divide unit (a non-pipelined iterative
+// array: 12-cycle multiply, 33-cycle divide, result drained over HI/LO)
+// and in the R3010 floating-point accelerator (unpack stage, two-stage
+// multiplier array, adder, non-pipelined divider, rounder, status port).
+func MIPS() *resmodel.Machine {
+	b := resmodel.NewBuilder("mips-r3000-r3010")
+	b.Resources(
+		// R3000 integer pipeline
+		"ISSUE", "IF", "RD", "ALU", "MEM", "WB",
+		// memory interface
+		"AGEN", "DPORT",
+		// multiply/divide unit
+		"MDU", "HILO",
+		// branch adder
+		"BTGT",
+		// R3010 FPA
+		"FP_U",   // unpack
+		"FP_M1",  // multiplier first half
+		"FP_M2",  // multiplier second half
+		"FP_A",   // mantissa adder
+		"FP_DIV", // non-pipelined divider array
+		"FP_R",   // rounder
+		"FP_WB",  // FP register write port
+		"FP_CC",  // condition-code port
+		"FP_RD",  // FP register read port
+		// coprocessor transfer path
+		"CP_XFER",
+		// exception/status unit
+		"FP_EXC",
+	)
+
+	// ipipe reserves the interlocked integer pipeline for one instruction.
+	ipipe := func(ob *resmodel.OpBuilder) *resmodel.OpBuilder {
+		return ob.Use("ISSUE", 0).Stages(0, "IF", "RD", "ALU", "MEM", "WB")
+	}
+
+	ipipe(b.Op("ialu", 1))
+	ipipe(b.Op("load", 2)).Use("AGEN", 1).Use("DPORT", 2)
+	ipipe(b.Op("store", 1)).Use("AGEN", 1).UseRange("DPORT", 2, 3)
+	ipipe(b.Op("branch", 1)).Use("BTGT", 1)
+	// Integer multiply: MDU busy 12 cycles from ALU stage, result into HI/LO.
+	ipipe(b.Op("mult", 12)).UseRange("MDU", 2, 13).Use("HILO", 13)
+	// Integer divide: MDU busy 33 cycles (bounding every latency below 34).
+	ipipe(b.Op("div", 33)).UseRange("MDU", 2, 33).Use("HILO", 33)
+	// mfhi/mflo interlock against a busy MDU via the HI/LO register port.
+	ipipe(b.Op("mfhi", 1)).Use("HILO", 2)
+
+	// fpipe reserves the integer pipeline plus FP operand read for one FPA op.
+	fpipe := func(ob *resmodel.OpBuilder) *resmodel.OpBuilder {
+		return ipipe(ob).Use("FP_RD", 1)
+	}
+
+	fpipe(b.Op("fadd.s", 2)).
+		Use("FP_U", 2).Use("FP_A", 3).Use("FP_R", 4).Use("FP_WB", 5)
+	fpipe(b.Op("fadd.d", 3)).
+		UseRange("FP_U", 2, 3).UseRange("FP_A", 3, 4).Use("FP_R", 5).Use("FP_WB", 6)
+	fpipe(b.Op("fmul.s", 4)).
+		Use("FP_U", 2).UseRange("FP_M1", 3, 4).UseRange("FP_M2", 4, 5).
+		Use("FP_R", 6).Use("FP_WB", 7)
+	fpipe(b.Op("fmul.d", 5)).
+		UseRange("FP_U", 2, 3).UseRange("FP_M1", 3, 6).UseRange("FP_M2", 4, 7).
+		Use("FP_R", 8).Use("FP_WB", 9)
+	fpipe(b.Op("fdiv.s", 12)).
+		Use("FP_U", 2).UseRange("FP_DIV", 3, 12).Use("FP_A", 13).
+		Use("FP_R", 14).Use("FP_WB", 15).Use("FP_EXC", 15)
+	fpipe(b.Op("fdiv.d", 19)).
+		Use("FP_U", 2).UseRange("FP_DIV", 3, 19).Use("FP_A", 20).
+		Use("FP_R", 21).Use("FP_WB", 22).Use("FP_EXC", 22)
+	fpipe(b.Op("fcvt", 3)).
+		UseRange("FP_U", 2, 3).Use("FP_A", 4).Use("FP_R", 5).
+		Use("FP_WB", 6).Use("CP_XFER", 6)
+	fpipe(b.Op("fcmp", 2)).
+		Use("FP_U", 2).Use("FP_A", 3).Use("FP_CC", 4)
+
+	return b.Build()
+}

@@ -1,0 +1,51 @@
+package machines
+
+import "repro/internal/resmodel"
+
+// PA7100 returns a machine description for the HP PA-RISC PA-7100, the
+// third processor family for which Bala & Rubin report automaton results
+// ("new experimental evidence ... for the Alpha, PA-RISC, and MIPS
+// families", Section 2). Like the others it is a reconstruction from the
+// public micro-architecture: a 2-way superscalar issuing one integer and
+// one floating-point operation per cycle, fully pipelined FP add and
+// multiply, and a non-pipelined divide/sqrt unit (8 cycles single
+// precision, 15 double) that produces the long forbidden latencies.
+func PA7100() *resmodel.Machine {
+	b := resmodel.NewBuilder("pa-7100")
+	b.Resources(
+		"I_SLOT", "F_SLOT", // dual-issue slots (one int + one fp)
+		"IALU",   // integer ALU
+		"SMU",    // shift/merge unit
+		"AGU",    // address adder
+		"DCACHE", // data-cache port
+		"STQ",    // store queue
+		"BR",     // branch adder
+		"IRF_W",  // integer register write port
+		"FALU",   // FP ALU (add path), pipelined
+		"FMPY",   // FP multiplier, pipelined
+		"FDIV",   // divide/sqrt unit, not pipelined
+		"FRND",   // result round/normalize
+		"FRF_W",  // FP register write port
+	)
+
+	ii := func(ob *resmodel.OpBuilder) *resmodel.OpBuilder { return ob.Use("I_SLOT", 0) }
+	ff := func(ob *resmodel.OpBuilder) *resmodel.OpBuilder { return ob.Use("F_SLOT", 0) }
+
+	ii(b.Op("ialu", 1)).Use("IALU", 0).Use("IRF_W", 1)
+	ii(b.Op("shift", 1)).Use("SMU", 0).Use("IRF_W", 1)
+	ii(b.Op("load", 2)).Use("AGU", 0).Use("DCACHE", 1).Use("IRF_W", 2)
+	// Stores hold the cache port an extra cycle through the store queue.
+	ii(b.Op("store", 1)).Use("AGU", 0).UseRange("DCACHE", 1, 2).Use("STQ", 1)
+	ii(b.Op("branch", 1)).Use("BR", 0)
+
+	ff(b.Op("fadd", 2)).Use("FALU", 1).Use("FRND", 2).Use("FRF_W", 2)
+	ff(b.Op("fmpy", 2)).Use("FMPY", 1).Use("FRND", 2).Use("FRF_W", 2)
+	// Fused multiply-add flows through both FP datapaths.
+	ff(b.Op("fmpyadd", 3)).Use("FMPY", 1).Use("FALU", 2).Use("FRND", 3).Use("FRF_W", 3)
+	ff(b.Op("fdiv.s", 8)).UseRange("FDIV", 1, 6).Use("FRND", 7).Use("FRF_W", 8)
+	ff(b.Op("fdiv.d", 15)).UseRange("FDIV", 1, 13).Use("FRND", 14).Use("FRF_W", 15)
+	ff(b.Op("fsqrt.d", 15)).Use("FALU", 1).UseRange("FDIV", 2, 13).Use("FRND", 14).Use("FRF_W", 15)
+	ff(b.Op("fcmp", 1)).Use("FALU", 1)
+
+	return b.Build()
+}

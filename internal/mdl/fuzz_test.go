@@ -1,0 +1,35 @@
+package mdl
+
+import (
+	"testing"
+
+	"repro/internal/forbidden"
+)
+
+// FuzzParse: the parser never panics, and every accepted description
+// round-trips through Print with an identical forbidden-latency matrix.
+func FuzzParse(f *testing.F) {
+	f.Add(figure1Src)
+	f.Add("machine m\nresources a b\nop x latency 2 {\n a: 0 2-4\n alt {\n b: 0\n }\n}\n")
+	f.Add("machine \"quoted name\"\nresources r\nop x {\n r: 0\n}\n")
+	f.Add("machine m\n# comment only\n")
+	f.Add("machine m\nresources r\nop x {\n r: 0-0\n}\nop y {\n}\n")
+	f.Add("machine m\nop x {")
+	f.Add("}} : - 7")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		out := Print(m)
+		m2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("accepted description failed to re-parse:\n%s\nerror: %v", out, err)
+		}
+		f1 := forbidden.Compute(m.Expand())
+		f2 := forbidden.Compute(m2.Expand())
+		if !f1.Equal(f2) {
+			t.Fatalf("round trip changed the forbidden matrix:\n%s", out)
+		}
+	})
+}

@@ -1,0 +1,169 @@
+// Package mdl implements the textual machine-description language: a small
+// front end (lexer, parser, printer) for authoring reservation-table
+// machine descriptions "in terms close to the actual hardware structure of
+// the target machine" (Section 1 of the paper).
+//
+// Grammar (comments run from '#' or '//' to end of line):
+//
+//	machine   <ident-or-string>
+//	resources <ident> <ident> ...        // may appear multiple times
+//	op <ident> [latency <int>] {
+//	    <resource>: <cycles>             // usage line
+//	    ...
+//	  [ alt {                            // further alternatives
+//	    <resource>: <cycles>
+//	    ... } ]
+//	}
+//
+// <cycles> is a space-separated list of cycle numbers and inclusive ranges
+// "a-b", e.g. "0 2 4-7". When an op has any "alt { ... }" blocks, the
+// usage lines preceding the first alt block form the first alternative.
+package mdl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokString
+	tokLBrace
+	tokRBrace
+	tokColon
+	tokDash
+	tokNewline
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokInt:
+		return "integer"
+	case tokString:
+		return "string"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokColon:
+		return "':'"
+	case tokDash:
+		return "'-'"
+	case tokNewline:
+		return "newline"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+// Error is a machine-description syntax or semantic error with a line
+// number.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("mdl: line %d: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...interface{}) *Error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1}
+}
+
+func isIdentStart(r byte) bool {
+	return r == '_' || r == '.' || unicode.IsLetter(rune(r))
+}
+
+func isIdentPart(r byte) bool {
+	return r == '_' || r == '.' || r == '/' || unicode.IsLetter(rune(r)) || unicode.IsDigit(rune(r))
+}
+
+// next returns the next token. Newlines are significant (they terminate
+// usage lines) and are returned as tokens; consecutive newlines collapse.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '\n':
+			tok := token{kind: tokNewline, line: l.line}
+			for l.pos < len(l.src) && (l.src[l.pos] == '\n' || l.src[l.pos] == ' ' || l.src[l.pos] == '\t' || l.src[l.pos] == '\r') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			return tok, nil
+		case c == '{':
+			l.pos++
+			return token{kind: tokLBrace, line: l.line}, nil
+		case c == '}':
+			l.pos++
+			return token{kind: tokRBrace, line: l.line}, nil
+		case c == ':':
+			l.pos++
+			return token{kind: tokColon, line: l.line}, nil
+		case c == '-':
+			l.pos++
+			return token{kind: tokDash, line: l.line}, nil
+		case c == '"':
+			start := l.pos + 1
+			end := strings.IndexByte(l.src[start:], '"')
+			if end < 0 {
+				return token{}, errf(l.line, "unterminated string literal")
+			}
+			text := l.src[start : start+end]
+			l.pos = start + end + 1
+			return token{kind: tokString, text: text, line: l.line}, nil
+		case c >= '0' && c <= '9':
+			start := l.pos
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+			return token{kind: tokInt, text: l.src[start:l.pos], line: l.line}, nil
+		case isIdentStart(c):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+			return token{kind: tokIdent, text: l.src[start:l.pos], line: l.line}, nil
+		default:
+			return token{}, errf(l.line, "unexpected character %q", string(c))
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+}

@@ -1,0 +1,235 @@
+package mdl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/forbidden"
+	"repro/internal/resmodel"
+)
+
+const figure1Src = `
+# The example machine of Figure 1 (Eichenberger & Davidson, PLDI 1996).
+machine example
+
+resources r0 r1 r2 r3 r4
+
+op A latency 3 {
+  r0: 0
+  r1: 1
+  r2: 2
+}
+
+op B latency 8 {
+  r1: 0
+  r2: 1
+  r3: 2-5   // partially pipelined multiply stage
+  r4: 6 7   // rounding stage
+}
+`
+
+func TestParseFigure1(t *testing.T) {
+	m, err := Parse(figure1Src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if m.Name != "example" {
+		t.Errorf("Name = %q", m.Name)
+	}
+	if len(m.Resources) != 5 {
+		t.Fatalf("resources = %d, want 5", len(m.Resources))
+	}
+	if len(m.Ops) != 2 {
+		t.Fatalf("ops = %d, want 2", len(m.Ops))
+	}
+	a := m.Ops[0]
+	if a.Name != "A" || a.Latency != 3 || len(a.Alts[0].Uses) != 3 {
+		t.Errorf("A parsed wrong: %+v", a)
+	}
+	b := m.Ops[1]
+	if b.Name != "B" || b.Latency != 8 || len(b.Alts[0].Uses) != 8 {
+		t.Errorf("B parsed wrong: %d usages", len(b.Alts[0].Uses))
+	}
+	if got := b.Alts[0].UsageSet(3); len(got) != 4 || got[0] != 2 || got[3] != 5 {
+		t.Errorf("B r3 usage set = %v, want [2 3 4 5]", got)
+	}
+	if got := b.Alts[0].UsageSet(4); len(got) != 2 || got[0] != 6 || got[1] != 7 {
+		t.Errorf("B r4 usage set = %v, want [6 7]", got)
+	}
+}
+
+func TestParseAlternatives(t *testing.T) {
+	src := `
+machine alts
+resources p0 p1 bus
+op add latency 1 {
+  p0: 0
+  bus: 2
+  alt {
+    p1: 0
+    bus: 2
+  }
+}
+op nop latency 0 {
+}
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(m.Ops[0].Alts) != 2 {
+		t.Fatalf("alts = %d, want 2", len(m.Ops[0].Alts))
+	}
+	if len(m.Ops[0].Alts[1].Uses) != 2 {
+		t.Errorf("alt 1 usages = %d, want 2", len(m.Ops[0].Alts[1].Uses))
+	}
+	if len(m.Ops[1].Alts[0].Uses) != 0 {
+		t.Errorf("nop has usages")
+	}
+	e := m.Expand()
+	if len(e.Ops) != 3 || e.Ops[0].Name != "add.0" {
+		t.Errorf("expansion wrong: %d ops", len(e.Ops))
+	}
+}
+
+func TestParseQuotedNameAndDefaults(t *testing.T) {
+	src := "machine \"Cydra 5\"\nresources r\nop x {\n r: 0\n}\n"
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if m.Name != "Cydra 5" {
+		t.Errorf("Name = %q", m.Name)
+	}
+	if m.Ops[0].Latency != 0 {
+		t.Errorf("default latency = %d, want 0", m.Ops[0].Latency)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"missing machine", "resources r\n", "must start with 'machine"},
+		{"bad top keyword", "machine m\nfoo bar\n", "expected 'resources' or 'op'"},
+		{"undeclared resource", "machine m\nresources r\nop x {\n zz: 0\n}\n", "undeclared resource"},
+		{"no cycles", "machine m\nresources r\nop x {\n r:\n}\n", "has no cycles"},
+		{"empty range", "machine m\nresources r\nop x {\n r: 5-2\n}\n", "empty cycle range"},
+		{"unterminated op", "machine m\nresources r\nop x {\n r: 0\n", "missing '}'"},
+		{"nested alt", "machine m\nresources r\nop x {\n alt {\n alt {\n }\n }\n}\n", "nested alt"},
+		{"unterminated string", "machine \"oops\n", "unterminated string"},
+		{"bad char", "machine m\nresources r\nop x {\n r: 0 @\n}\n", "unexpected character"},
+		{"dup resource", "machine m\nresources r r\n", "duplicate resource"},
+		{"dup op", "machine m\nresources r\nop x {\n r: 0\n}\nop x {\n r: 0\n}\n", "duplicate operation"},
+		{"missing colon", "machine m\nresources r\nop x {\n r 0\n}\n", "':'"},
+		{"missing op name", "machine m\nop {\n}\n", "operation name"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("%s: Parse succeeded, want error containing %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	src := "machine m\nresources r\nop x {\n zz: 0\n}\n"
+	_, err := Parse(src)
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T, want *Error", err)
+	}
+	if perr.Line != 4 {
+		t.Errorf("error line = %d, want 4", perr.Line)
+	}
+}
+
+func TestCycleRanges(t *testing.T) {
+	cases := []struct {
+		in   []int
+		want string
+	}{
+		{[]int{0}, "0"},
+		{[]int{0, 1}, "0 1"},
+		{[]int{0, 1, 2}, "0-2"},
+		{[]int{0, 2, 4, 5, 6, 9}, "0 2 4-6 9"},
+		{[]int{6, 7}, "6 7"},
+	}
+	for _, c := range cases {
+		if got := cycleRanges(c.in); got != c.want {
+			t.Errorf("cycleRanges(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPrintParseRoundTripFigure1(t *testing.T) {
+	m1, err := Parse(figure1Src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	out := Print(m1)
+	m2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("re-Parse:\n%s\nerror: %v", out, err)
+	}
+	if !machinesEquivalent(m1, m2) {
+		t.Errorf("round trip changed the machine:\n%s", out)
+	}
+}
+
+// machinesEquivalent compares two machines structurally (after
+// normalization) and by forbidden-latency matrix.
+func machinesEquivalent(a, b *resmodel.Machine) bool {
+	if a.Name != b.Name || len(a.Resources) != len(b.Resources) || len(a.Ops) != len(b.Ops) {
+		return false
+	}
+	for i := range a.Resources {
+		if a.Resources[i] != b.Resources[i] {
+			return false
+		}
+	}
+	for i := range a.Ops {
+		oa, ob := a.Ops[i], b.Ops[i]
+		if oa.Name != ob.Name || oa.Latency != ob.Latency || len(oa.Alts) != len(ob.Alts) {
+			return false
+		}
+		for j := range oa.Alts {
+			ta, tb := oa.Alts[j].Clone(), ob.Alts[j].Clone()
+			ta.Normalize()
+			tb.Normalize()
+			if len(ta.Uses) != len(tb.Uses) {
+				return false
+			}
+			for k := range ta.Uses {
+				if ta.Uses[k] != tb.Uses[k] {
+					return false
+				}
+			}
+		}
+	}
+	return forbidden.Compute(a.Expand()).Equal(forbidden.Compute(b.Expand()))
+}
+
+// Property: Print/Parse round-trips every random machine.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m1 := resmodel.Random(rng, resmodel.DefaultRandomConfig())
+		out := Print(m1)
+		m2, err := Parse(out)
+		if err != nil {
+			t.Logf("re-parse failed for seed %d:\n%s\nerror: %v", seed, out, err)
+			return false
+		}
+		return machinesEquivalent(m1, m2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

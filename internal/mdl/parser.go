@@ -1,0 +1,255 @@
+package mdl
+
+import (
+	"strconv"
+
+	"repro/internal/resmodel"
+)
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+// Parse parses a machine description in the mdl language and returns a
+// validated machine.
+func Parse(src string) (*resmodel.Machine, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	m, err := p.parseMachine()
+	if err != nil {
+		return nil, err
+	}
+	for i := range m.Ops {
+		for j := range m.Ops[i].Alts {
+			m.Ops[i].Alts[j].Normalize()
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) skipNewlines() error {
+	for p.tok.kind == tokNewline {
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	if p.tok.kind != k {
+		return token{}, errf(p.tok.line, "expected %s (%s), got %s", k, what, p.tok.kind)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+func (p *parser) parseMachine() (*resmodel.Machine, error) {
+	if err := p.skipNewlines(); err != nil {
+		return nil, err
+	}
+	kw, err := p.expect(tokIdent, "keyword 'machine'")
+	if err != nil {
+		return nil, err
+	}
+	if kw.text != "machine" {
+		return nil, errf(kw.line, "description must start with 'machine <name>', got %q", kw.text)
+	}
+	m := &resmodel.Machine{}
+	switch p.tok.kind {
+	case tokIdent, tokString:
+		m.Name = p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, errf(p.tok.line, "expected machine name, got %s", p.tok.kind)
+	}
+
+	resIdx := map[string]int{}
+	for {
+		if err := p.skipNewlines(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokEOF {
+			break
+		}
+		kw, err := p.expect(tokIdent, "'resources' or 'op'")
+		if err != nil {
+			return nil, err
+		}
+		switch kw.text {
+		case "resources":
+			for p.tok.kind == tokIdent {
+				name := p.tok.text
+				if _, dup := resIdx[name]; dup {
+					return nil, errf(p.tok.line, "duplicate resource %q", name)
+				}
+				resIdx[name] = len(m.Resources)
+				m.Resources = append(m.Resources, name)
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			if p.tok.kind != tokNewline && p.tok.kind != tokEOF {
+				return nil, errf(p.tok.line, "expected resource name or end of line, got %s", p.tok.kind)
+			}
+		case "op":
+			op, err := p.parseOp(resIdx)
+			if err != nil {
+				return nil, err
+			}
+			m.Ops = append(m.Ops, *op)
+		default:
+			return nil, errf(kw.line, "expected 'resources' or 'op', got %q", kw.text)
+		}
+	}
+	return m, nil
+}
+
+func (p *parser) parseOp(resIdx map[string]int) (*resmodel.Operation, error) {
+	name, err := p.expect(tokIdent, "operation name")
+	if err != nil {
+		return nil, err
+	}
+	op := &resmodel.Operation{Name: name.text, Alts: []resmodel.Table{{}}}
+	if p.tok.kind == tokIdent && p.tok.text == "latency" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		it, err := p.expect(tokInt, "latency value")
+		if err != nil {
+			return nil, err
+		}
+		op.Latency, _ = strconv.Atoi(it.text)
+	}
+	if _, err := p.expect(tokLBrace, "op body"); err != nil {
+		return nil, err
+	}
+	if err := p.parseBody(resIdx, op, name.text); err != nil {
+		return nil, err
+	}
+	return op, nil
+}
+
+// parseBody parses usage lines and alt blocks up to the matching '}'.
+func (p *parser) parseBody(resIdx map[string]int, op *resmodel.Operation, opName string) error {
+	for {
+		if err := p.skipNewlines(); err != nil {
+			return err
+		}
+		switch p.tok.kind {
+		case tokRBrace:
+			return p.advance()
+		case tokIdent:
+			if p.tok.text == "alt" {
+				if err := p.advance(); err != nil {
+					return err
+				}
+				if _, err := p.expect(tokLBrace, "alt body"); err != nil {
+					return err
+				}
+				op.Alts = append(op.Alts, resmodel.Table{})
+				if err := p.parseAltBody(resIdx, op, opName); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := p.parseUsageLine(resIdx, op, opName); err != nil {
+				return err
+			}
+		case tokEOF:
+			return errf(p.tok.line, "unterminated op %q: missing '}'", opName)
+		default:
+			return errf(p.tok.line, "in op %q: expected usage line, 'alt' or '}', got %s", opName, p.tok.kind)
+		}
+	}
+}
+
+// parseAltBody parses usage lines of one alt block up to its '}'. Nested
+// alt blocks are not permitted.
+func (p *parser) parseAltBody(resIdx map[string]int, op *resmodel.Operation, opName string) error {
+	for {
+		if err := p.skipNewlines(); err != nil {
+			return err
+		}
+		switch p.tok.kind {
+		case tokRBrace:
+			return p.advance()
+		case tokIdent:
+			if p.tok.text == "alt" {
+				return errf(p.tok.line, "in op %q: nested alt blocks are not allowed", opName)
+			}
+			if err := p.parseUsageLine(resIdx, op, opName); err != nil {
+				return err
+			}
+		case tokEOF:
+			return errf(p.tok.line, "unterminated alt block in op %q", opName)
+		default:
+			return errf(p.tok.line, "in op %q alt: expected usage line or '}', got %s", opName, p.tok.kind)
+		}
+	}
+}
+
+// parseUsageLine parses "<resource>: <cycles>" into the op's current alt.
+func (p *parser) parseUsageLine(resIdx map[string]int, op *resmodel.Operation, opName string) error {
+	rname := p.tok
+	ri, ok := resIdx[rname.text]
+	if !ok {
+		return errf(rname.line, "op %q uses undeclared resource %q", opName, rname.text)
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokColon, "':' after resource name"); err != nil {
+		return err
+	}
+	alt := &op.Alts[len(op.Alts)-1]
+	sawCycle := false
+	for p.tok.kind == tokInt {
+		lo, _ := strconv.Atoi(p.tok.text)
+		if err := p.advance(); err != nil {
+			return err
+		}
+		hi := lo
+		if p.tok.kind == tokDash {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			it, err := p.expect(tokInt, "range end")
+			if err != nil {
+				return err
+			}
+			hi, _ = strconv.Atoi(it.text)
+			if hi < lo {
+				return errf(it.line, "op %q: empty cycle range %d-%d", opName, lo, hi)
+			}
+		}
+		for c := lo; c <= hi; c++ {
+			alt.Uses = append(alt.Uses, resmodel.Usage{Resource: ri, Cycle: c})
+		}
+		sawCycle = true
+	}
+	if !sawCycle {
+		return errf(rname.line, "op %q: resource %q has no cycles", opName, rname.text)
+	}
+	if p.tok.kind != tokNewline && p.tok.kind != tokRBrace && p.tok.kind != tokEOF {
+		return errf(p.tok.line, "op %q: expected cycle number, newline or '}', got %s", opName, p.tok.kind)
+	}
+	return nil
+}

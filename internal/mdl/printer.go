@@ -1,0 +1,112 @@
+package mdl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/resmodel"
+)
+
+// Print renders a machine in the mdl language. The output parses back to
+// an equivalent machine (same resources, operations, alternatives and
+// usages), so Print and Parse form a round trip.
+func Print(m *resmodel.Machine) string {
+	var b strings.Builder
+	if isIdent(m.Name) {
+		fmt.Fprintf(&b, "machine %s\n", m.Name)
+	} else {
+		fmt.Fprintf(&b, "machine %q\n", m.Name)
+	}
+
+	if len(m.Resources) > 0 {
+		b.WriteString("\n")
+		const perLine = 8
+		for i := 0; i < len(m.Resources); i += perLine {
+			end := i + perLine
+			if end > len(m.Resources) {
+				end = len(m.Resources)
+			}
+			fmt.Fprintf(&b, "resources %s\n", strings.Join(m.Resources[i:end], " "))
+		}
+	}
+
+	for _, op := range m.Ops {
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "op %s latency %d {\n", op.Name, op.Latency)
+		for ai, alt := range op.Alts {
+			indent := "  "
+			if ai > 0 {
+				b.WriteString("  alt {\n")
+				indent = "    "
+			}
+			printAlt(&b, m, alt, indent)
+			if ai > 0 {
+				b.WriteString("  }\n")
+			}
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+// printAlt prints one alternative's usage lines, merging consecutive
+// cycles into ranges ("4-7").
+func printAlt(b *strings.Builder, m *resmodel.Machine, alt resmodel.Table, indent string) {
+	byRes := map[int][]int{}
+	for _, u := range alt.Uses {
+		byRes[u.Resource] = append(byRes[u.Resource], u.Cycle)
+	}
+	res := make([]int, 0, len(byRes))
+	for r := range byRes {
+		res = append(res, r)
+	}
+	sort.Ints(res)
+	for _, r := range res {
+		cycles := byRes[r]
+		sort.Ints(cycles)
+		fmt.Fprintf(b, "%s%s: %s\n", indent, m.Resources[r], cycleRanges(cycles))
+	}
+}
+
+// cycleRanges renders a sorted cycle list as "0 2 4-7".
+func cycleRanges(cycles []int) string {
+	var parts []string
+	for i := 0; i < len(cycles); {
+		j := i
+		for j+1 < len(cycles) && cycles[j+1] == cycles[j]+1 {
+			j++
+		}
+		switch {
+		case j == i:
+			parts = append(parts, fmt.Sprintf("%d", cycles[i]))
+		case j == i+1:
+			parts = append(parts, fmt.Sprintf("%d %d", cycles[i], cycles[i+1]))
+		default:
+			parts = append(parts, fmt.Sprintf("%d-%d", cycles[i], cycles[j]))
+		}
+		i = j + 1
+	}
+	return strings.Join(parts, " ")
+}
+
+// isIdent reports whether s lexes as a single identifier token (so it can
+// be printed unquoted).
+func isIdent(s string) bool {
+	if s == "" || !isIdentStart(s[0]) {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if !isIdentPart(s[i]) {
+			return false
+		}
+	}
+	// Reject multi-byte runes conservatively: the lexer's byte-oriented
+	// checks accept ASCII identifiers only.
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,64 @@
+package query
+
+import (
+	"repro/internal/resmodel"
+)
+
+// compiled holds the per-operation reservation tables preprocessed for a
+// module instance. For a Modulo Reservation Table (ii > 0) the usage
+// cycles are folded modulo II; if two usages of one operation fold onto
+// the same (resource, cycle) cell, the operation needs the same resource
+// in the same steady-state cycle for two different iterations, so it is
+// unschedulable at this II (selfConf).
+type compiled struct {
+	ii       int
+	uses     [][]resmodel.Usage
+	selfConf []bool
+	spans    []int
+}
+
+func compile(e *resmodel.Expanded, ii int) *compiled {
+	c := &compiled{
+		ii:       ii,
+		uses:     make([][]resmodel.Usage, len(e.Ops)),
+		selfConf: make([]bool, len(e.Ops)),
+		spans:    make([]int, len(e.Ops)),
+	}
+	for oi, o := range e.Ops {
+		if ii == 0 {
+			c.uses[oi] = o.Table.Uses
+			c.spans[oi] = o.Table.Span()
+			continue
+		}
+		seen := map[resmodel.Usage]bool{}
+		folded := make([]resmodel.Usage, 0, len(o.Table.Uses))
+		for _, u := range o.Table.Uses {
+			fu := resmodel.Usage{Resource: u.Resource, Cycle: u.Cycle % ii}
+			if seen[fu] {
+				c.selfConf[oi] = true
+			}
+			seen[fu] = true
+			folded = append(folded, fu)
+		}
+		if c.selfConf[oi] {
+			// Unschedulable at this II; keep the folded list only for
+			// diagnostics, it is never reserved.
+			c.uses[oi] = nil
+		} else {
+			c.uses[oi] = folded
+		}
+		c.spans[oi] = ii
+	}
+	return c
+}
+
+// maxSpan returns the largest span over all ops.
+func (c *compiled) maxSpan() int {
+	max := 0
+	for _, s := range c.spans {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}

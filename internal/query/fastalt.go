@@ -1,0 +1,112 @@
+package query
+
+// Fast check-with-alt for the bitvector representation — the "more
+// efficient technique" Section 7 leaves open. The packed words of ALL
+// alternatives of an operation are unioned offline; at query time one
+// AND-and-test pass over the union words proves every alternative
+// contention-free at once (each alternative's flags are a subset of the
+// union's). Only when the union conflicts does the query fall back to
+// testing alternatives individually. For the common case — an empty
+// region of the reserved table — a dual-ported memory op costs half the
+// words.
+//
+// The fast path is opt-in (EnableFastAlt) so that Table 6's per-call
+// statistics stay comparable with the discrete representation by default.
+
+// EnableFastAlt precomputes the alternative-union reservation words and
+// turns on the fast CheckWithAlt path.
+func (b *Bitvector) EnableFastAlt() {
+	if b.ii > 0 {
+		b.altUnion0 = make([][]packedWord, len(b.e.AltGroup))
+		for orig, group := range b.e.AltGroup {
+			if len(group) < 2 {
+				continue
+			}
+			var words []packedWord
+			for _, op := range group {
+				if !b.c.selfConf[op] {
+					words = mergeWords(words, b.packed0[op])
+				}
+			}
+			b.altUnion0[orig] = words
+		}
+		return
+	}
+	b.altUnion = make([][][]packedWord, len(b.e.AltGroup))
+	for orig, group := range b.e.AltGroup {
+		if len(group) < 2 {
+			continue
+		}
+		b.altUnion[orig] = make([][]packedWord, b.k)
+		for a := 0; a < b.k; a++ {
+			var words []packedWord
+			for _, op := range group {
+				words = mergeWords(words, b.packed[op][a])
+			}
+			b.altUnion[orig][a] = words
+		}
+	}
+}
+
+// mergeWords ORs two sorted packed-word lists.
+func mergeWords(a, b []packedWord) []packedWord {
+	out := make([]packedWord, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Word < b[j].Word:
+			out = append(out, a[i])
+			i++
+		case a[i].Word > b[j].Word:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, packedWord{Word: a[i].Word, Bits: a[i].Bits | b[j].Bits})
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// fastCheckWithAlt runs the union test; ok reports whether the fast path
+// applied and decided the query.
+func (b *Bitvector) fastCheckWithAlt(origOp, cycle int) (op int, free, decided bool) {
+	var words []packedWord
+	if b.ii > 0 {
+		if b.altUnion0 == nil || b.altUnion0[origOp] == nil {
+			return 0, false, false
+		}
+		words = b.altUnion0[origOp]
+		jm := b.modCycle(cycle)
+		for _, w := range words {
+			b.ctr.CheckWork++
+			if b.window(b.wordStart(jm, w))&w.Bits != 0 {
+				return 0, false, false // union conflicts: fall back
+			}
+		}
+	} else {
+		if b.altUnion == nil || b.altUnion[origOp] == nil || cycle < 0 {
+			return 0, false, false
+		}
+		a, base := cycle%b.k, cycle/b.k
+		for _, w := range b.altUnion[origOp][a] {
+			b.ctr.CheckWork++
+			wi := base + w.Word
+			if wi < len(b.reserved) && b.reserved[wi]&w.Bits != 0 {
+				return 0, false, false
+			}
+		}
+	}
+	// Union clean: every alternative is contention-free; return the first
+	// schedulable one (the same answer the fallback would give).
+	b.ctr.CheckCalls++
+	for _, cand := range b.e.AltGroup[origOp] {
+		if !b.c.selfConf[cand] {
+			return cand, true, true
+		}
+	}
+	return 0, false, true // no schedulable alternative at this II
+}

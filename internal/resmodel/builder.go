@@ -1,0 +1,111 @@
+package resmodel
+
+import "fmt"
+
+// Builder assembles a Machine incrementally with named resources. It is the
+// programmatic counterpart of the textual machine-description language and
+// is used to author the processor models in internal/machines.
+//
+// Builder methods panic on misuse (unknown resource names, duplicate
+// definitions): machine descriptions are static program data, so an
+// authoring error should fail fast and loudly.
+type Builder struct {
+	m      Machine
+	resIdx map[string]int
+	opIdx  map[string]bool
+}
+
+// NewBuilder returns a builder for a machine with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		m:      Machine{Name: name},
+		resIdx: map[string]int{},
+		opIdx:  map[string]bool{},
+	}
+}
+
+// Resources declares resources in order. Redeclaring a name panics.
+func (b *Builder) Resources(names ...string) *Builder {
+	for _, n := range names {
+		if _, dup := b.resIdx[n]; dup {
+			panic(fmt.Sprintf("resmodel: Builder: duplicate resource %q", n))
+		}
+		b.resIdx[n] = len(b.m.Resources)
+		b.m.Resources = append(b.m.Resources, n)
+	}
+	return b
+}
+
+// OpBuilder assembles one operation.
+type OpBuilder struct {
+	b  *Builder
+	op *Operation
+}
+
+// Op starts a new operation with the given name and result latency. The
+// operation begins with a single empty alternative.
+func (b *Builder) Op(name string, latency int) *OpBuilder {
+	if b.opIdx[name] {
+		panic(fmt.Sprintf("resmodel: Builder: duplicate operation %q", name))
+	}
+	b.opIdx[name] = true
+	b.m.Ops = append(b.m.Ops, Operation{Name: name, Latency: latency, Alts: []Table{{}}})
+	return &OpBuilder{b: b, op: &b.m.Ops[len(b.m.Ops)-1]}
+}
+
+// Use reserves the named resource in each of the given cycles, in the
+// current alternative.
+func (ob *OpBuilder) Use(resource string, cycles ...int) *OpBuilder {
+	ri, ok := ob.b.resIdx[resource]
+	if !ok {
+		panic(fmt.Sprintf("resmodel: Builder: op %q uses unknown resource %q", ob.op.Name, resource))
+	}
+	alt := &ob.op.Alts[len(ob.op.Alts)-1]
+	for _, c := range cycles {
+		alt.Uses = append(alt.Uses, Usage{Resource: ri, Cycle: c})
+	}
+	return ob
+}
+
+// UseRange reserves the named resource in every cycle of [from, to]
+// inclusive — the partially pipelined "stage held for several consecutive
+// cycles" pattern (operation B of Figure 1).
+func (ob *OpBuilder) UseRange(resource string, from, to int) *OpBuilder {
+	for c := from; c <= to; c++ {
+		ob.Use(resource, c)
+	}
+	return ob
+}
+
+// Stage reserves a chain of resources in consecutive cycles starting at
+// `start`: stage[0] at start, stage[1] at start+1, ... — the fully
+// pipelined pattern (operation A of Figure 1).
+func (ob *OpBuilder) Stages(start int, stages ...string) *OpBuilder {
+	for i, s := range stages {
+		ob.Use(s, start+i)
+	}
+	return ob
+}
+
+// Alt closes the current alternative and starts a new, empty one. The
+// alternatives of an operation are interchangeable implementations (e.g.
+// issue to port 0 or port 1).
+func (ob *OpBuilder) Alt() *OpBuilder {
+	ob.op.Alts = append(ob.op.Alts, Table{})
+	return ob
+}
+
+// Build validates and returns the machine. It panics if validation fails:
+// builders author static machine models, so failure is a programming error.
+func (b *Builder) Build() *Machine {
+	m := b.m.Clone()
+	for i := range m.Ops {
+		for j := range m.Ops[i].Alts {
+			m.Ops[i].Alts[j].Normalize()
+		}
+	}
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return m
+}

@@ -1,0 +1,125 @@
+package resmodel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LintWarning is one advisory finding about a machine description. None
+// of these are errors — Validate covers those — but each flags a pattern
+// that usually means the description was hand-reduced, drifted during
+// co-design, or models something by accident (the maintenance hazards the
+// paper's automated reduction exists to remove).
+type LintWarning struct {
+	// Code is a stable identifier: unused-resource, duplicate-table,
+	// empty-op, single-use-resource, asymmetric-alts, long-span.
+	Code string
+	Msg  string
+}
+
+func (w LintWarning) String() string { return w.Code + ": " + w.Msg }
+
+// Lint inspects a valid machine description and returns advisory
+// warnings, sorted by code then message.
+func Lint(m *Machine) []LintWarning {
+	var out []LintWarning
+	warnf := func(code, format string, args ...interface{}) {
+		out = append(out, LintWarning{Code: code, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	// Resource usage census.
+	usedBy := make([][]string, len(m.Resources))
+	for _, o := range m.Ops {
+		for ai, a := range o.Alts {
+			name := o.Name
+			if len(o.Alts) > 1 {
+				name = fmt.Sprintf("%s.%d", o.Name, ai)
+			}
+			seen := map[int]bool{}
+			for _, u := range a.Uses {
+				if !seen[u.Resource] {
+					seen[u.Resource] = true
+					usedBy[u.Resource] = append(usedBy[u.Resource], name)
+				}
+			}
+		}
+	}
+	for ri, users := range usedBy {
+		switch len(users) {
+		case 0:
+			warnf("unused-resource", "resource %q is used by no operation", m.Resources[ri])
+		case 1:
+			warnf("single-use-resource",
+				"resource %q is used only by %s: it adds only the 0-self-contention and will reduce away",
+				m.Resources[ri], users[0])
+		}
+	}
+
+	// Duplicate reservation tables (same usages): candidates for operation
+	// classes; harmless but often a sign of copy-paste.
+	byKey := map[string][]string{}
+	for _, o := range m.Ops {
+		for ai, a := range o.Alts {
+			t := a.Clone()
+			t.Normalize()
+			key := fmt.Sprintf("%v", t.Uses)
+			name := o.Name
+			if len(o.Alts) > 1 {
+				name = fmt.Sprintf("%s.%d", o.Name, ai)
+			}
+			byKey[key] = append(byKey[key], name)
+		}
+	}
+	var dupKeys []string
+	for k, names := range byKey {
+		if len(names) > 1 && k != "[]" {
+			dupKeys = append(dupKeys, k)
+		}
+	}
+	sort.Strings(dupKeys)
+	for _, k := range dupKeys {
+		warnf("duplicate-table", "operations %v have identical reservation tables (one class)", byKey[k])
+	}
+
+	for _, o := range m.Ops {
+		empty := true
+		for _, a := range o.Alts {
+			if len(a.Uses) > 0 {
+				empty = false
+			}
+		}
+		if empty {
+			warnf("empty-op", "operation %q uses no resources (no scheduling constraints at all)", o.Name)
+		}
+		// Alternatives of one op usually mirror each other on twin units;
+		// wildly different sizes suggest a typo.
+		if len(o.Alts) > 1 {
+			min, max := len(o.Alts[0].Uses), len(o.Alts[0].Uses)
+			for _, a := range o.Alts[1:] {
+				if len(a.Uses) < min {
+					min = len(a.Uses)
+				}
+				if len(a.Uses) > max {
+					max = len(a.Uses)
+				}
+			}
+			if min != max {
+				warnf("asymmetric-alts", "operation %q alternatives have %d..%d usages", o.Name, min, max)
+			}
+		}
+		for ai, a := range o.Alts {
+			if s := a.Span(); s > 64 {
+				warnf("long-span", "operation %q alt %d spans %d cycles (exceeds one 64-bit state word; automata cannot model it)",
+					o.Name, ai, s)
+			}
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Code != out[j].Code {
+			return out[i].Code < out[j].Code
+		}
+		return out[i].Msg < out[j].Msg
+	})
+	return out
+}

@@ -1,0 +1,90 @@
+package resmodel
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomConfig controls Random machine generation for property-based tests.
+type RandomConfig struct {
+	MaxResources int // at least 1
+	MaxOps       int // at least 1
+	MaxSpan      int // maximum reservation-table span, at least 1
+	MaxUsesPerOp int // at least 1
+	AltProb      float64
+	// EmptyOpProb is the probability that an op uses no resources at all
+	// (exercising the "no forbidden latencies" edge cases).
+	EmptyOpProb float64
+}
+
+// DefaultRandomConfig returns a configuration that exercises the
+// interesting small-machine space: a few resources, partially pipelined
+// multi-cycle usages and occasional alternatives.
+func DefaultRandomConfig() RandomConfig {
+	// Kept sparse on purpose: the number of maximal resources of a machine
+	// grows with the number of maximal cliques of the usage-compatibility
+	// relation, which explodes combinatorially for dense random forbidden
+	// matrices (~75% of all latencies forbidden). Real machines — and the
+	// paper's three processors — are structured and far sparser; these
+	// parameters keep random machines in that regime while still exercising
+	// partially pipelined patterns and alternatives.
+	return RandomConfig{
+		MaxResources: 5,
+		MaxOps:       4,
+		MaxSpan:      6,
+		MaxUsesPerOp: 4,
+		AltProb:      0.2,
+		EmptyOpProb:  0.1,
+	}
+}
+
+// Random generates a pseudo-random valid machine description from rng.
+// It is deterministic for a given rng state, and every generated machine
+// passes Validate. Used by testing/quick-style properties in the reduce and
+// query packages: the central invariant of the paper — reduction preserves
+// the forbidden-latency matrix, and therefore every contention query — is
+// checked on these machines.
+func Random(rng *rand.Rand, cfg RandomConfig) *Machine {
+	nRes := 1 + rng.Intn(cfg.MaxResources)
+	nOps := 1 + rng.Intn(cfg.MaxOps)
+	m := &Machine{Name: "random"}
+	for r := 0; r < nRes; r++ {
+		m.Resources = append(m.Resources, fmt.Sprintf("r%d", r))
+	}
+	for o := 0; o < nOps; o++ {
+		op := Operation{Name: fmt.Sprintf("op%d", o), Latency: rng.Intn(cfg.MaxSpan) + 1}
+		nAlts := 1
+		if rng.Float64() < cfg.AltProb {
+			nAlts = 2
+		}
+		for a := 0; a < nAlts; a++ {
+			var t Table
+			if rng.Float64() >= cfg.EmptyOpProb {
+				nUses := 1 + rng.Intn(cfg.MaxUsesPerOp)
+				for u := 0; u < nUses; u++ {
+					t.Uses = append(t.Uses, Usage{
+						Resource: rng.Intn(nRes),
+						Cycle:    rng.Intn(cfg.MaxSpan),
+					})
+				}
+				// Bias toward consecutive-cycle reuse of one resource, the
+				// partially pipelined pattern that makes reduction interesting.
+				if rng.Intn(2) == 0 {
+					r := rng.Intn(nRes)
+					start := rng.Intn(cfg.MaxSpan)
+					length := 1 + rng.Intn(3)
+					for c := start; c < start+length && c < cfg.MaxSpan; c++ {
+						t.Uses = append(t.Uses, Usage{Resource: r, Cycle: c})
+					}
+				}
+			}
+			t.Normalize()
+			op.Alts = append(op.Alts, t)
+		}
+		m.Ops = append(m.Ops, op)
+	}
+	if err := m.Validate(); err != nil {
+		panic("resmodel: Random generated invalid machine: " + err.Error())
+	}
+	return m
+}

@@ -1,0 +1,371 @@
+// Package resmodel defines the machine-description model of Eichenberger &
+// Davidson (PLDI 1996): machines described by reservation tables, one per
+// operation, whose rows are resources and whose columns are cycles relative
+// to the operation's issue time.
+//
+// An operation may carry *alternative* resource usages (e.g. an add that can
+// execute on either of two identical adders). Following Section 3 of the
+// paper, alternatives are removed by a preprocessing step (Expand) that
+// replaces each operation with one expanded operation per alternative; the
+// expanded operations are recorded as an alternative group so that the
+// contention query module's check-with-alt can iterate over them.
+package resmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Usage is a single reservation-table entry: the operation reserves Resource
+// for exclusive use during cycle Cycle (relative to its issue time).
+type Usage struct {
+	Resource int // index into Machine.Resources
+	Cycle    int // >= 0
+}
+
+// Table is a reservation table: the set of resource usages of one
+// operation (or of one alternative of an operation).
+type Table struct {
+	Uses []Usage
+}
+
+// Clone returns a deep copy of the table.
+func (t Table) Clone() Table {
+	c := Table{Uses: make([]Usage, len(t.Uses))}
+	copy(c.Uses, t.Uses)
+	return c
+}
+
+// Normalize sorts the usages by (resource, cycle) and removes duplicates.
+func (t *Table) Normalize() {
+	sort.Slice(t.Uses, func(i, j int) bool {
+		a, b := t.Uses[i], t.Uses[j]
+		if a.Resource != b.Resource {
+			return a.Resource < b.Resource
+		}
+		return a.Cycle < b.Cycle
+	})
+	out := t.Uses[:0]
+	for i, u := range t.Uses {
+		if i == 0 || u != t.Uses[i-1] {
+			out = append(out, u)
+		}
+	}
+	t.Uses = out
+}
+
+// Span returns one past the last cycle in which the table uses any resource,
+// i.e. the number of columns. An empty table has span 0.
+func (t Table) Span() int {
+	max := -1
+	for _, u := range t.Uses {
+		if u.Cycle > max {
+			max = u.Cycle
+		}
+	}
+	return max + 1
+}
+
+// UsageSet returns the sorted set of cycles in which the table uses resource
+// r — the paper's "usage set X_r".
+func (t Table) UsageSet(r int) []int {
+	var cycles []int
+	for _, u := range t.Uses {
+		if u.Resource == r {
+			cycles = append(cycles, u.Cycle)
+		}
+	}
+	sort.Ints(cycles)
+	return cycles
+}
+
+// Resources returns the sorted set of distinct resources the table uses.
+func (t Table) Resources() []int {
+	seen := map[int]bool{}
+	for _, u := range t.Uses {
+		seen[u.Resource] = true
+	}
+	out := make([]int, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Operation is a machine operation with one or more alternative reservation
+// tables. Alts has at least one element; an operation with a single
+// alternative is the common case.
+type Operation struct {
+	Name    string
+	Latency int // result latency in cycles, used by schedulers
+	Alts    []Table
+}
+
+// Machine is a complete machine description: a set of named resources and a
+// set of operations with reservation tables over those resources.
+type Machine struct {
+	Name      string
+	Resources []string
+	Ops       []Operation
+}
+
+// ResourceIndex returns the index of the named resource, or -1.
+func (m *Machine) ResourceIndex(name string) int {
+	for i, r := range m.Resources {
+		if r == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// OpIndex returns the index of the named operation, or -1.
+func (m *Machine) OpIndex(name string) int {
+	for i, o := range m.Ops {
+		if o.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumUsages returns the total number of resource usages over all operations
+// and alternatives.
+func (m *Machine) NumUsages() int {
+	n := 0
+	for _, o := range m.Ops {
+		for _, a := range o.Alts {
+			n += len(a.Uses)
+		}
+	}
+	return n
+}
+
+// MaxSpan returns the largest reservation-table span over all operations and
+// alternatives.
+func (m *Machine) MaxSpan() int {
+	max := 0
+	for _, o := range m.Ops {
+		for _, a := range o.Alts {
+			if s := a.Span(); s > max {
+				max = s
+			}
+		}
+	}
+	return max
+}
+
+// Validate checks structural well-formedness: non-empty names, unique
+// resource and operation names, at least one alternative per operation,
+// resource indices in range, non-negative cycles, and no duplicate usages
+// within an alternative.
+func (m *Machine) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("resmodel: machine has no name")
+	}
+	seenRes := map[string]bool{}
+	for i, r := range m.Resources {
+		if r == "" {
+			return fmt.Errorf("resmodel: %s: resource %d has empty name", m.Name, i)
+		}
+		if seenRes[r] {
+			return fmt.Errorf("resmodel: %s: duplicate resource name %q", m.Name, r)
+		}
+		seenRes[r] = true
+	}
+	seenOp := map[string]bool{}
+	for _, o := range m.Ops {
+		if o.Name == "" {
+			return fmt.Errorf("resmodel: %s: operation with empty name", m.Name)
+		}
+		if seenOp[o.Name] {
+			return fmt.Errorf("resmodel: %s: duplicate operation name %q", m.Name, o.Name)
+		}
+		seenOp[o.Name] = true
+		if len(o.Alts) == 0 {
+			return fmt.Errorf("resmodel: %s: operation %q has no reservation table", m.Name, o.Name)
+		}
+		if o.Latency < 0 {
+			return fmt.Errorf("resmodel: %s: operation %q has negative latency %d", m.Name, o.Name, o.Latency)
+		}
+		for ai, a := range o.Alts {
+			seenUse := map[Usage]bool{}
+			for _, u := range a.Uses {
+				if u.Resource < 0 || u.Resource >= len(m.Resources) {
+					return fmt.Errorf("resmodel: %s: op %q alt %d: resource index %d out of range [0,%d)",
+						m.Name, o.Name, ai, u.Resource, len(m.Resources))
+				}
+				if u.Cycle < 0 {
+					return fmt.Errorf("resmodel: %s: op %q alt %d: negative cycle %d", m.Name, o.Name, ai, u.Cycle)
+				}
+				if seenUse[u] {
+					return fmt.Errorf("resmodel: %s: op %q alt %d: duplicate usage of %s at cycle %d",
+						m.Name, o.Name, ai, m.Resources[u.Resource], u.Cycle)
+				}
+				seenUse[u] = true
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the machine.
+func (m *Machine) Clone() *Machine {
+	c := &Machine{
+		Name:      m.Name,
+		Resources: append([]string(nil), m.Resources...),
+		Ops:       make([]Operation, len(m.Ops)),
+	}
+	for i, o := range m.Ops {
+		co := Operation{Name: o.Name, Latency: o.Latency, Alts: make([]Table, len(o.Alts))}
+		for j, a := range o.Alts {
+			co.Alts[j] = a.Clone()
+		}
+		c.Ops[i] = co
+	}
+	return c
+}
+
+// ExpandedOp is one alternative of an original operation, promoted to a
+// standalone operation with a single reservation table.
+type ExpandedOp struct {
+	Name    string // e.g. "load" or "load.1" for the second alternative
+	Orig    int    // index of the original operation in Machine.Ops
+	Alt     int    // which alternative of the original operation this is
+	Latency int
+	Table   Table
+}
+
+// Expanded is a machine with all alternative resource usages removed: each
+// expanded operation has exactly one reservation table. It is the input
+// representation for forbidden-latency analysis and reduction.
+type Expanded struct {
+	Name      string
+	Resources []string
+	Ops       []ExpandedOp
+	// AltGroup maps an original operation index to the expanded operation
+	// indices that implement it (its "alternative operations").
+	AltGroup [][]int
+	// Source is the machine this expansion was derived from.
+	Source *Machine
+}
+
+// Expand removes alternative resource usages per Section 3 of the paper:
+// each operation X with alternatives becomes operations X.0, X.1, ... with a
+// single table each. An operation with one alternative keeps its name.
+// The machine must be valid.
+func (m *Machine) Expand() *Expanded {
+	e := &Expanded{
+		Name:      m.Name,
+		Resources: append([]string(nil), m.Resources...),
+		AltGroup:  make([][]int, len(m.Ops)),
+		Source:    m,
+	}
+	for oi, o := range m.Ops {
+		for ai, a := range o.Alts {
+			name := o.Name
+			if len(o.Alts) > 1 {
+				name = fmt.Sprintf("%s.%d", o.Name, ai)
+			}
+			t := a.Clone()
+			t.Normalize()
+			e.AltGroup[oi] = append(e.AltGroup[oi], len(e.Ops))
+			e.Ops = append(e.Ops, ExpandedOp{
+				Name:    name,
+				Orig:    oi,
+				Alt:     ai,
+				Latency: o.Latency,
+				Table:   t,
+			})
+		}
+	}
+	return e
+}
+
+// MaxSpan returns the largest reservation-table span over all expanded ops.
+func (e *Expanded) MaxSpan() int {
+	max := 0
+	for _, o := range e.Ops {
+		if s := o.Table.Span(); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// NumUsages returns the total number of resource usages.
+func (e *Expanded) NumUsages() int {
+	n := 0
+	for _, o := range e.Ops {
+		n += len(o.Table.Uses)
+	}
+	return n
+}
+
+// OpIndex returns the index of the named expanded op, or -1.
+func (e *Expanded) OpIndex(name string) int {
+	for i, o := range e.Ops {
+		if o.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Machine converts the expansion back into a plain Machine whose operations
+// each have a single alternative. Useful for feeding reduced or expanded
+// descriptions back through tooling that consumes Machine.
+func (e *Expanded) Machine() *Machine {
+	m := &Machine{Name: e.Name, Resources: append([]string(nil), e.Resources...)}
+	for _, o := range e.Ops {
+		m.Ops = append(m.Ops, Operation{
+			Name:    o.Name,
+			Latency: o.Latency,
+			Alts:    []Table{o.Table.Clone()},
+		})
+	}
+	return m
+}
+
+// TableString renders a reservation table as an ASCII grid in the style of
+// Figure 1 of the paper, with one row per resource that the table uses and
+// an 'X' wherever the resource is reserved.
+func TableString(resources []string, t Table) string {
+	span := t.Span()
+	if span == 0 {
+		return "(no resource usages)\n"
+	}
+	used := t.Resources()
+	nameW := 0
+	for _, r := range used {
+		if len(resources[r]) > nameW {
+			nameW = len(resources[r])
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s |", nameW, "")
+	for c := 0; c < span; c++ {
+		fmt.Fprintf(&b, "%3d", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range used {
+		fmt.Fprintf(&b, "%*s |", nameW, resources[r])
+		cells := map[int]bool{}
+		for _, u := range t.Uses {
+			if u.Resource == r {
+				cells[u.Cycle] = true
+			}
+		}
+		for c := 0; c < span; c++ {
+			if cells[c] {
+				b.WriteString("  X")
+			} else {
+				b.WriteString("  .")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,351 @@
+package resmodel
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// figure1Machine builds the example machine of Figure 1 of the paper:
+// operation A is a fully pipelined functional unit (r0@0, r1@1, r2@2);
+// operation B is partially pipelined (r1@0, r2@1, r3@2-5, r4@6-7).
+func figure1Machine() *Machine {
+	b := NewBuilder("example")
+	b.Resources("r0", "r1", "r2", "r3", "r4")
+	b.Op("A", 3).Stages(0, "r0", "r1", "r2")
+	b.Op("B", 8).
+		Use("r1", 0).
+		Use("r2", 1).
+		UseRange("r3", 2, 5).
+		UseRange("r4", 6, 7)
+	return b.Build()
+}
+
+func TestFigure1MachineShape(t *testing.T) {
+	m := figure1Machine()
+	if len(m.Resources) != 5 {
+		t.Fatalf("resources = %d, want 5", len(m.Resources))
+	}
+	if len(m.Ops) != 2 {
+		t.Fatalf("ops = %d, want 2", len(m.Ops))
+	}
+	a, bop := m.Ops[0], m.Ops[1]
+	if len(a.Alts[0].Uses) != 3 {
+		t.Errorf("A usages = %d, want 3", len(a.Alts[0].Uses))
+	}
+	if len(bop.Alts[0].Uses) != 8 {
+		t.Errorf("B usages = %d, want 8", len(bop.Alts[0].Uses))
+	}
+	if got := m.NumUsages(); got != 11 {
+		t.Errorf("NumUsages = %d, want 11", got)
+	}
+	if got := m.MaxSpan(); got != 8 {
+		t.Errorf("MaxSpan = %d, want 8", got)
+	}
+	// Usage sets of Figure 1a: B3 = {2,3,4,5}, B4 = {6,7}, A1 = {1}.
+	b3 := bop.Alts[0].UsageSet(3)
+	if len(b3) != 4 || b3[0] != 2 || b3[3] != 5 {
+		t.Errorf("B usage set of r3 = %v, want [2 3 4 5]", b3)
+	}
+	if got := a.Alts[0].UsageSet(1); len(got) != 1 || got[0] != 1 {
+		t.Errorf("A usage set of r1 = %v, want [1]", got)
+	}
+	if got := a.Alts[0].UsageSet(3); got != nil {
+		t.Errorf("A usage set of r3 = %v, want empty", got)
+	}
+}
+
+func TestTableSpanAndResources(t *testing.T) {
+	var empty Table
+	if empty.Span() != 0 {
+		t.Errorf("empty table Span = %d, want 0", empty.Span())
+	}
+	tab := Table{Uses: []Usage{{Resource: 2, Cycle: 7}, {Resource: 0, Cycle: 0}}}
+	if tab.Span() != 8 {
+		t.Errorf("Span = %d, want 8", tab.Span())
+	}
+	rs := tab.Resources()
+	if len(rs) != 2 || rs[0] != 0 || rs[1] != 2 {
+		t.Errorf("Resources = %v, want [0 2]", rs)
+	}
+}
+
+func TestNormalizeSortsAndDedups(t *testing.T) {
+	tab := Table{Uses: []Usage{
+		{Resource: 1, Cycle: 3},
+		{Resource: 0, Cycle: 5},
+		{Resource: 1, Cycle: 3},
+		{Resource: 0, Cycle: 2},
+	}}
+	tab.Normalize()
+	want := []Usage{{0, 2}, {0, 5}, {1, 3}}
+	if len(tab.Uses) != len(want) {
+		t.Fatalf("Normalize -> %v, want %v", tab.Uses, want)
+	}
+	for i := range want {
+		if tab.Uses[i] != want[i] {
+			t.Fatalf("Normalize -> %v, want %v", tab.Uses, want)
+		}
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(m *Machine)
+		want string
+	}{
+		{"no name", func(m *Machine) { m.Name = "" }, "no name"},
+		{"dup resource", func(m *Machine) { m.Resources[1] = "r0" }, "duplicate resource"},
+		{"empty resource", func(m *Machine) { m.Resources[0] = "" }, "empty name"},
+		{"dup op", func(m *Machine) { m.Ops[1].Name = "A" }, "duplicate operation"},
+		{"empty op name", func(m *Machine) { m.Ops[0].Name = "" }, "empty name"},
+		{"no alts", func(m *Machine) { m.Ops[0].Alts = nil }, "no reservation table"},
+		{"neg latency", func(m *Machine) { m.Ops[0].Latency = -1 }, "negative latency"},
+		{"bad resource index", func(m *Machine) { m.Ops[0].Alts[0].Uses[0].Resource = 99 }, "out of range"},
+		{"negative cycle", func(m *Machine) { m.Ops[0].Alts[0].Uses[0].Cycle = -2 }, "negative cycle"},
+		{"dup usage", func(m *Machine) {
+			u := m.Ops[0].Alts[0].Uses[0]
+			m.Ops[0].Alts[0].Uses = append(m.Ops[0].Alts[0].Uses, u)
+		}, "duplicate usage"},
+	}
+	for _, tc := range cases {
+		m := figure1Machine()
+		tc.mut(m)
+		err := m.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate returned nil, want error containing %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := figure1Machine().Validate(); err != nil {
+		t.Fatalf("Validate = %v, want nil", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := figure1Machine()
+	c := m.Clone()
+	c.Ops[0].Alts[0].Uses[0].Cycle = 99
+	c.Resources[0] = "mut"
+	if m.Ops[0].Alts[0].Uses[0].Cycle == 99 {
+		t.Errorf("Clone shares usage storage")
+	}
+	if m.Resources[0] == "mut" {
+		t.Errorf("Clone shares resource storage")
+	}
+}
+
+func TestExpandSingleAlt(t *testing.T) {
+	m := figure1Machine()
+	e := m.Expand()
+	if len(e.Ops) != 2 {
+		t.Fatalf("expanded ops = %d, want 2", len(e.Ops))
+	}
+	if e.Ops[0].Name != "A" || e.Ops[1].Name != "B" {
+		t.Errorf("single-alt op names changed: %q %q", e.Ops[0].Name, e.Ops[1].Name)
+	}
+	if len(e.AltGroup) != 2 || len(e.AltGroup[0]) != 1 || e.AltGroup[0][0] != 0 {
+		t.Errorf("AltGroup = %v", e.AltGroup)
+	}
+	if e.Source != m {
+		t.Errorf("Source not set")
+	}
+}
+
+func TestExpandAlternatives(t *testing.T) {
+	b := NewBuilder("alts")
+	b.Resources("add0", "add1", "bus")
+	b.Op("add", 1).
+		Use("add0", 0).Use("bus", 1).
+		Alt().
+		Use("add1", 0).Use("bus", 1)
+	b.Op("nop", 0)
+	m := b.Build()
+	e := m.Expand()
+	if len(e.Ops) != 3 {
+		t.Fatalf("expanded ops = %d, want 3", len(e.Ops))
+	}
+	if e.Ops[0].Name != "add.0" || e.Ops[1].Name != "add.1" {
+		t.Errorf("alt names = %q %q, want add.0 add.1", e.Ops[0].Name, e.Ops[1].Name)
+	}
+	if e.Ops[0].Orig != 0 || e.Ops[1].Orig != 0 || e.Ops[1].Alt != 1 {
+		t.Errorf("Orig/Alt wrong: %+v %+v", e.Ops[0], e.Ops[1])
+	}
+	g := e.AltGroup[0]
+	if len(g) != 2 || g[0] != 0 || g[1] != 1 {
+		t.Errorf("AltGroup[0] = %v, want [0 1]", g)
+	}
+	// add.0 uses add0, add.1 uses add1, both use bus@1.
+	if got := e.Ops[0].Table.UsageSet(0); len(got) != 1 || got[0] != 0 {
+		t.Errorf("add.0 usage of add0 = %v", got)
+	}
+	if got := e.Ops[1].Table.UsageSet(0); got != nil {
+		t.Errorf("add.1 uses add0: %v", got)
+	}
+	if e.OpIndex("add.1") != 1 || e.OpIndex("missing") != -1 {
+		t.Errorf("OpIndex wrong")
+	}
+	// Round-trip back to a Machine.
+	m2 := e.Machine()
+	if err := m2.Validate(); err != nil {
+		t.Errorf("expanded-machine Validate: %v", err)
+	}
+	if len(m2.Ops) != 3 || m2.Ops[2].Name != "nop" {
+		t.Errorf("expanded Machine ops wrong: %d", len(m2.Ops))
+	}
+}
+
+func TestResourceAndOpIndex(t *testing.T) {
+	m := figure1Machine()
+	if m.ResourceIndex("r3") != 3 {
+		t.Errorf("ResourceIndex(r3) = %d", m.ResourceIndex("r3"))
+	}
+	if m.ResourceIndex("nope") != -1 {
+		t.Errorf("ResourceIndex(nope) != -1")
+	}
+	if m.OpIndex("B") != 1 || m.OpIndex("C") != -1 {
+		t.Errorf("OpIndex wrong")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	check := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	check("dup resource", func() {
+		NewBuilder("m").Resources("a", "a")
+	})
+	check("dup op", func() {
+		b := NewBuilder("m").Resources("a")
+		b.Op("x", 1)
+		b.Op("x", 1)
+	})
+	check("unknown resource", func() {
+		b := NewBuilder("m").Resources("a")
+		b.Op("x", 1).Use("zzz", 0)
+	})
+}
+
+func TestTableString(t *testing.T) {
+	m := figure1Machine()
+	s := TableString(m.Resources, m.Ops[1].Alts[0])
+	if !strings.Contains(s, "r3") || !strings.Contains(s, "X") {
+		t.Errorf("TableString missing content:\n%s", s)
+	}
+	// B uses r3 at cycles 2..5 -> the r3 row has exactly 4 X marks.
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "r3") {
+			if got := strings.Count(line, "X"); got != 4 {
+				t.Errorf("r3 row has %d X, want 4: %q", got, line)
+			}
+		}
+	}
+	if got := TableString(m.Resources, Table{}); !strings.Contains(got, "no resource usages") {
+		t.Errorf("empty TableString = %q", got)
+	}
+}
+
+// Property: Random always generates valid machines whose expansion
+// round-trips through Machine() and re-validates.
+func TestQuickRandomMachinesValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := Random(rng, DefaultRandomConfig())
+		if m.Validate() != nil {
+			return false
+		}
+		e := m.Expand()
+		if len(e.Ops) < len(m.Ops) {
+			return false
+		}
+		for oi, g := range e.AltGroup {
+			if len(g) != len(m.Ops[oi].Alts) {
+				return false
+			}
+			for ai, ei := range g {
+				if e.Ops[ei].Orig != oi || e.Ops[ei].Alt != ai {
+					return false
+				}
+			}
+		}
+		return e.Machine().Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: expansion preserves each alternative's usage multiset (after
+// normalization).
+func TestQuickExpandPreservesTables(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := Random(rng, DefaultRandomConfig())
+		e := m.Expand()
+		for _, eo := range e.Ops {
+			orig := m.Ops[eo.Orig].Alts[eo.Alt].Clone()
+			orig.Normalize()
+			if len(orig.Uses) != len(eo.Table.Uses) {
+				return false
+			}
+			for i := range orig.Uses {
+				if orig.Uses[i] != eo.Table.Uses[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLint(t *testing.T) {
+	b := NewBuilder("lint")
+	b.Resources("used", "unused", "solo")
+	b.Op("a", 1).Use("used", 0)
+	b.Op("b", 1).Use("used", 0) // duplicate table of a
+	b.Op("c", 1).Use("solo", 0).Use("used", 1)
+	b.Op("nothing", 0)
+	b.Op("lop", 1).Use("used", 70)
+	b.Op("twin", 1).Use("used", 0).Use("used", 3).Alt().Use("used", 0)
+	m := b.Build()
+	ws := Lint(m)
+	byCode := map[string]int{}
+	for _, w := range ws {
+		byCode[w.Code]++
+		if w.String() == "" {
+			t.Errorf("empty warning text")
+		}
+	}
+	for _, want := range []string{
+		"unused-resource", "single-use-resource", "duplicate-table",
+		"empty-op", "asymmetric-alts", "long-span",
+	} {
+		if byCode[want] == 0 {
+			t.Errorf("missing %s warning in %v", want, ws)
+		}
+	}
+	// A clean, well-shared machine lints quiet (modulo known classes).
+	clean := NewBuilder("clean")
+	clean.Resources("r", "s")
+	clean.Op("x", 1).Use("r", 0).Use("s", 1)
+	clean.Op("y", 1).Use("r", 1).Use("s", 0)
+	if ws := Lint(clean.Build()); len(ws) != 0 {
+		t.Errorf("clean machine linted dirty: %v", ws)
+	}
+}

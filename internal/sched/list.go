@@ -1,0 +1,146 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/automaton"
+	"repro/internal/ddg"
+	"repro/internal/query"
+	"repro/internal/resmodel"
+)
+
+// Issuer abstracts a cycle-ordered scheduling backend: the list scheduler
+// walks cycles monotonically, attempting to issue operations in the
+// current cycle. Both the reservation-table query module and the
+// finite-state automaton support this restricted model, which makes it
+// the fair common ground for comparing them (the automaton cannot easily
+// support the unrestricted model of the Iterative Modulo Scheduler).
+type Issuer interface {
+	// TryIssue attempts to place expanded op in the current cycle,
+	// reserving its resources on success.
+	TryIssue(op int) bool
+	// Advance moves to the next cycle.
+	Advance()
+}
+
+// ModuleIssuer adapts a linear contention query module to Issuer.
+type ModuleIssuer struct {
+	M      query.Module
+	cycle  int
+	nextID int
+}
+
+// TryIssue implements Issuer.
+func (mi *ModuleIssuer) TryIssue(op int) bool {
+	if !mi.M.Check(op, mi.cycle) {
+		return false
+	}
+	mi.M.Assign(op, mi.cycle, mi.nextID)
+	mi.nextID++
+	return true
+}
+
+// Advance implements Issuer.
+func (mi *ModuleIssuer) Advance() { mi.cycle++ }
+
+// WalkerIssuer adapts a forward-automaton walker to Issuer.
+type WalkerIssuer struct {
+	W *automaton.Walker
+}
+
+// TryIssue implements Issuer.
+func (wi *WalkerIssuer) TryIssue(op int) bool { return wi.W.Issue(op) }
+
+// Advance implements Issuer.
+func (wi *WalkerIssuer) Advance() { wi.W.Advance() }
+
+// ListResult is an acyclic schedule.
+type ListResult struct {
+	Time     []int
+	Alt      []int
+	Makespan int // one past the last issue cycle plus the op's latency
+	Cycles   int // cycles walked by the issuer
+}
+
+// ListSchedule schedules an acyclic dependence graph (all edges must have
+// Dist == 0) in cycle order: at each cycle, data-ready operations are
+// tried in critical-path priority order against the issuer. It is the
+// greedy list scheduler classically paired with automaton-based
+// contention detection.
+func ListSchedule(g *ddg.Graph, e *resmodel.Expanded, iss Issuer) (ListResult, error) {
+	n := len(g.Nodes)
+	res := ListResult{Time: make([]int, n), Alt: make([]int, n)}
+	for _, edge := range g.Edges {
+		if edge.Dist != 0 {
+			return res, fmt.Errorf("sched: ListSchedule requires an acyclic graph; edge %d->%d has dist %d",
+				edge.From, edge.To, edge.Dist)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return res, err
+	}
+	// Critical-path priority (acyclic heights).
+	prio := heights(g, 1)
+	preds := g.Preds()
+
+	time := make([]int, n)
+	placed := make([]bool, n)
+	for i := range time {
+		time[i] = -1
+	}
+	remaining := n
+	for cycle := 0; remaining > 0; cycle++ {
+		// Safety valve: a correct issuer always makes progress eventually.
+		if cycle > 100000 {
+			return res, fmt.Errorf("sched: ListSchedule made no progress by cycle %d", cycle)
+		}
+		var ready []int
+		for v := 0; v < n; v++ {
+			if placed[v] {
+				continue
+			}
+			est := 0
+			ok := true
+			for _, edge := range preds[v] {
+				if time[edge.From] < 0 {
+					ok = false
+					break
+				}
+				if t := time[edge.From] + edge.Delay; t > est {
+					est = t
+				}
+			}
+			if ok && est <= cycle {
+				ready = append(ready, v)
+			}
+		}
+		sort.Slice(ready, func(i, j int) bool {
+			a, b := ready[i], ready[j]
+			if prio[a] != prio[b] {
+				return prio[a] > prio[b]
+			}
+			return a < b
+		})
+		for _, v := range ready {
+			for _, altOp := range e.AltGroup[g.Nodes[v].Op] {
+				if iss.TryIssue(altOp) {
+					time[v] = cycle
+					res.Alt[v] = altOp
+					placed[v] = true
+					remaining--
+					break
+				}
+			}
+		}
+		iss.Advance()
+		res.Cycles = cycle + 1
+	}
+	copy(res.Time, time)
+	for v := 0; v < n; v++ {
+		if end := time[v] + e.Ops[res.Alt[v]].Latency; end > res.Makespan {
+			res.Makespan = end
+		}
+	}
+	return res, nil
+}

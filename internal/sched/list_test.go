@@ -1,0 +1,127 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/loopgen"
+	"repro/internal/machines"
+	"repro/internal/query"
+)
+
+func TestListScheduleRespectsDeps(t *testing.T) {
+	m := machines.MIPS()
+	e := m.Expand()
+	g := &ddg.Graph{Name: "bb", Nodes: []ddg.Node{
+		{Name: "a", Op: m.OpIndex("load")},
+		{Name: "b", Op: m.OpIndex("fmul.s")},
+		{Name: "c", Op: m.OpIndex("fadd.s")},
+	}}
+	g.Edges = []ddg.Edge{
+		{From: 0, To: 1, Delay: 2},
+		{From: 1, To: 2, Delay: 4},
+	}
+	iss := &ModuleIssuer{M: query.NewDiscrete(e, 0)}
+	r, err := ListSchedule(g, e, iss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Time[1] < r.Time[0]+2 || r.Time[2] < r.Time[1]+4 {
+		t.Errorf("dependences violated: %v", r.Time)
+	}
+	if r.Makespan <= 0 {
+		t.Errorf("Makespan = %d", r.Makespan)
+	}
+}
+
+func TestListScheduleRejectsLoops(t *testing.T) {
+	m := machines.MIPS()
+	e := m.Expand()
+	g := &ddg.Graph{Name: "loop", Nodes: []ddg.Node{{Op: 0}}}
+	g.Edges = []ddg.Edge{{From: 0, To: 0, Delay: 1, Dist: 1}}
+	iss := &ModuleIssuer{M: query.NewDiscrete(e, 0)}
+	if _, err := ListSchedule(g, e, iss); err == nil {
+		t.Fatalf("loop-carried edge accepted")
+	}
+}
+
+// TestListScheduleModuleVsAutomaton: the reservation-table module and the
+// forward automaton accept exactly the same schedules, so the greedy
+// cycle-ordered list scheduler must produce identical results through
+// either backend — and through the original or the reduced description.
+func TestListScheduleModuleVsAutomaton(t *testing.T) {
+	for _, name := range []string{"example", "mips"} {
+		m := machines.ByName(name)
+		e := m.Expand()
+		red := core.Reduce(e, core.Objective{Kind: core.ResUses})
+		if err := red.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		fsa, err := automaton.BuildForward(red.Reduced, automaton.DefaultLimit())
+		if err != nil {
+			t.Fatalf("%s: automaton: %v", name, err)
+		}
+		dags, err := loopgen.GenerateDAGs(m, loopgen.DefaultDAG(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range dags[:30] {
+			backends := map[string]Issuer{
+				"module/orig":    &ModuleIssuer{M: query.NewDiscrete(e, 0)},
+				"module/reduced": &ModuleIssuer{M: query.NewDiscrete(red.Reduced, 0)},
+				"fsa/reduced":    &WalkerIssuer{W: fsa.Walk()},
+			}
+			var ref ListResult
+			first := true
+			for bname, iss := range backends {
+				r, err := ListSchedule(g, e, iss)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: %v", name, g.Name, bname, err)
+				}
+				if first {
+					ref = r
+					first = false
+					continue
+				}
+				for v := range r.Time {
+					if r.Time[v] != ref.Time[v] {
+						t.Fatalf("%s/%s: %s placed node %d at %d, ref %d",
+							name, g.Name, bname, v, r.Time[v], ref.Time[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestListScheduleBitvectorAgrees: bitvector modules drive the list
+// scheduler to the same schedules.
+func TestListScheduleBitvectorAgrees(t *testing.T) {
+	m := machines.Alpha21064()
+	e := m.Expand()
+	k := query.MaxCyclesPerWord(len(e.Resources), 64)
+	bv, err := query.NewBitvector(e, k, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dags, err := loopgen.GenerateDAGs(m, loopgen.DefaultDAG(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range dags[:20] {
+		bv.Reset()
+		d := query.NewDiscrete(e, 0)
+		r1, err1 := ListSchedule(g, e, &ModuleIssuer{M: d})
+		r2, err2 := ListSchedule(g, e, &ModuleIssuer{M: bv})
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		for v := range r1.Time {
+			if r1.Time[v] != r2.Time[v] {
+				t.Fatalf("%s: node %d: discrete %d bitvec %d", g.Name, v, r1.Time[v], r2.Time[v])
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ddg"
+	"repro/internal/query"
+	"repro/internal/resmodel"
+)
+
+// OperationDriven schedules an acyclic dependence graph in *operation*
+// order rather than cycle order: operations are processed in topological
+// order with critical-path priority, and each is inserted at its earliest
+// dependence-feasible, contention-free cycle. Because independent chains
+// interleave, insertions jump backwards in time — the unrestricted
+// placement model that the Cydra 5 compiler's operation-driven scheduler
+// uses for scalar code (Section 1) and that cycle-ordered automaton
+// walkers cannot serve. Any query.Module backend works, including the
+// automaton PairModule; the work each backend performs to support
+// arbitrary insertion is what the paper compares.
+func OperationDriven(g *ddg.Graph, e *resmodel.Expanded, mod query.Module) (ListResult, error) {
+	n := len(g.Nodes)
+	res := ListResult{Time: make([]int, n), Alt: make([]int, n)}
+	for _, edge := range g.Edges {
+		if edge.Dist != 0 {
+			return res, fmt.Errorf("sched: OperationDriven requires an acyclic graph")
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return res, err
+	}
+	prio := heights(g, 1)
+	preds := g.Preds()
+
+	// Topological order via repeated selection of ready ops, highest
+	// priority first — so unrelated critical chains are scheduled before
+	// short chains, and short-chain ops later insert at EARLIER cycles.
+	placed := make([]bool, n)
+	time := make([]int, n)
+	order := make([]int, 0, n)
+	inDeg := make([]int, n)
+	for _, edge := range g.Edges {
+		inDeg[edge.To]++
+	}
+	var ready []int
+	for v := 0; v < n; v++ {
+		if inDeg[v] == 0 {
+			ready = append(ready, v)
+		}
+	}
+	succs := g.Succs()
+	for len(ready) > 0 {
+		sort.Slice(ready, func(i, j int) bool {
+			a, b := ready[i], ready[j]
+			if prio[a] != prio[b] {
+				return prio[a] > prio[b]
+			}
+			return a < b
+		})
+		v := ready[0]
+		ready = ready[1:]
+		order = append(order, v)
+		for _, edge := range succs[v] {
+			inDeg[edge.To]--
+			if inDeg[edge.To] == 0 {
+				ready = append(ready, edge.To)
+			}
+		}
+	}
+	if len(order) != n {
+		return res, fmt.Errorf("sched: graph is cyclic")
+	}
+
+	id := 0
+	for _, v := range order {
+		estart := 0
+		for _, edge := range preds[v] {
+			if t := time[edge.From] + edge.Delay; t > estart {
+				estart = t
+			}
+		}
+		found := false
+		for t := estart; !found; t++ {
+			if t > estart+100000 {
+				return res, fmt.Errorf("sched: no slot found for node %d", v)
+			}
+			if op, ok := mod.CheckWithAlt(g.Nodes[v].Op, t); ok {
+				mod.Assign(op, t, id)
+				id++
+				time[v] = t
+				res.Alt[v] = op
+				placed[v] = true
+				found = true
+			}
+		}
+	}
+	copy(res.Time, time)
+	for v := 0; v < n; v++ {
+		if end := time[v] + e.Ops[res.Alt[v]].Latency; end > res.Makespan {
+			res.Makespan = end
+		}
+		if time[v]+1 > res.Cycles {
+			res.Cycles = time[v] + 1
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,208 @@
+// Package tables regenerates every table and figure of the paper's
+// evaluation (Section 6 and 8): the reduction statistics of Tables 1-4,
+// the loop-benchmark characteristics of Table 5, the query-module work
+// units of Table 6, and Figures 1, 3 and 4. cmd/paper renders them;
+// bench_test.go at the repository root times them.
+package tables
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/forbidden"
+	"repro/internal/resmodel"
+)
+
+// ReductionRow is one column of a Table 1-4 style table (the paper lays
+// representations out as columns; we compute them as rows and transpose
+// when rendering).
+type ReductionRow struct {
+	// Label names the representation, e.g. "original" or "4-cycle-word (64b)".
+	Label string
+	// Original marks the unreduced description.
+	Original bool
+	// Objective is the selection objective used (zero value for original).
+	Objective core.Objective
+	// WordBits is the memory-word size this column targets.
+	WordBits int
+	// K is the number of cycle-bitvectors per word used for the
+	// word-usage statistic (1 for original and discrete columns).
+	K int
+	// NumResources, AvgUses and AvgWordUses are the paper's three metrics.
+	NumResources int
+	AvgUses      float64
+	AvgWordUses  float64
+	// Result is the underlying reduction (nil for the original column).
+	Result *core.Result
+}
+
+// Reduction is a complete Table 1/2/3/4.
+type Reduction struct {
+	MachineName string
+	Classes     int
+	ForbiddenL  int
+	MaxLatency  int
+	Rows        []ReductionRow
+}
+
+// ComputeReduction reduces the machine for every representation the paper
+// evaluates: the discrete res-uses objective plus k-cycle-word objectives
+// for 32- and 64-bit words, with k derived from the reduced resource
+// count exactly as the paper derives it (e.g. 15 Cydra 5 resources give
+// 2 cycles per 32-bit and 4 cycles per 64-bit word).
+func ComputeReduction(m *resmodel.Machine) *Reduction {
+	e := m.Expand()
+	mat := forbidden.Compute(e)
+	cls := mat.ComputeClasses()
+	cm := mat.Collapse(cls)
+
+	origTables := make([]resmodel.Table, 0, cls.NumClasses())
+	for _, rep := range cls.Rep {
+		origTables = append(origTables, e.Ops[rep].Table)
+	}
+
+	t := &Reduction{
+		MachineName: m.Name,
+		Classes:     cls.NumClasses(),
+		ForbiddenL:  cm.NonnegCount(),
+		MaxLatency:  cm.MaxLatency(),
+	}
+	t.Rows = append(t.Rows, ReductionRow{
+		Label:        "original",
+		Original:     true,
+		K:            1,
+		NumResources: len(m.Resources),
+		AvgUses:      core.AvgUsesPerOp(origTables),
+		AvgWordUses:  core.AvgWordUsesPerOp(origTables, 1),
+	})
+
+	addRow := func(label string, obj core.Objective, wordBits, k int) {
+		res := core.Reduce(e, obj)
+		if err := res.Verify(); err != nil {
+			panic(fmt.Sprintf("tables: reduction of %s for %v is not exact: %v", m.Name, obj, err))
+		}
+		t.Rows = append(t.Rows, ReductionRow{
+			Label:        label,
+			Objective:    obj,
+			WordBits:     wordBits,
+			K:            k,
+			NumResources: res.NumResources(),
+			AvgUses:      core.AvgUsesPerOp(res.ClassTables),
+			AvgWordUses:  core.AvgWordUsesPerOp(res.ClassTables, k),
+			Result:       res,
+		})
+	}
+
+	addRow("res-uses (discrete)", core.Objective{Kind: core.ResUses}, 0, 1)
+	// Word sizes follow from the discrete reduction's resource count.
+	rRed := t.Rows[1].NumResources
+	if rRed == 0 {
+		rRed = 1
+	}
+	k32 := 32 / rRed
+	if k32 < 1 {
+		k32 = 1
+	}
+	k64 := 64 / rRed
+	if k64 < 1 {
+		k64 = 1
+	}
+	addRow("1-cycle-word (32b)", core.Objective{Kind: core.KCycleWord, K: 1}, 32, 1)
+	if k32 > 1 {
+		addRow(fmt.Sprintf("%d-cycle-word (32b)", k32), core.Objective{Kind: core.KCycleWord, K: k32}, 32, k32)
+	}
+	if k64 > k32 {
+		addRow(fmt.Sprintf("%d-cycle-word (64b)", k64), core.Objective{Kind: core.KCycleWord, K: k64}, 64, k64)
+	}
+	return t
+}
+
+// Render lays the table out in the paper's format: representations as
+// columns, the three metrics as rows.
+func (t *Reduction) Render(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d operation classes, %d forbidden latencies (all < %d)\n",
+		title, t.Classes, t.ForbiddenL, t.MaxLatency+1)
+	fmt.Fprintf(&b, "machine: %s\n\n", t.MachineName)
+
+	cols := make([]string, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		cols = append(cols, r.Label)
+	}
+	width := 12
+	for _, c := range cols {
+		if len(c)+2 > width {
+			width = len(c) + 2
+		}
+	}
+	row := func(name string, f func(r ReductionRow) string) {
+		fmt.Fprintf(&b, "%-34s", name)
+		for _, r := range t.Rows {
+			fmt.Fprintf(&b, "%*s", width, f(r))
+		}
+		b.WriteByte('\n')
+	}
+	row("objective function minimizing:", func(r ReductionRow) string {
+		if r.Original {
+			return "-"
+		}
+		return r.Objective.String()
+	})
+	row("number of resources", func(r ReductionRow) string {
+		return fmt.Sprintf("%d", r.NumResources)
+	})
+	row("avg resource usages / operation", func(r ReductionRow) string {
+		return fmt.Sprintf("%.1f", r.AvgUses)
+	})
+	row("avg word usages / operation", func(r ReductionRow) string {
+		return fmt.Sprintf("%.1f", r.AvgWordUses)
+	})
+	return b.String()
+}
+
+// MemorySummary reports the paper's Section 6 memory comparison for this
+// machine: the reserved-table state storage per schedule cycle (bits) of
+// the original description versus the densest reduced bitvector
+// representation, and the description storage ratio (reduced usages over
+// original usages).
+type MemorySummary struct {
+	MachineName        string
+	OrigBitsPerCycle   int
+	RedBitsPerCycle    int
+	RedCyclesPerWord   int
+	StatePct           float64 // reduced / original reserved-table storage
+	DescriptionPct     float64 // reduced / original usage-entry storage
+	QuerySpeedupUses   float64 // avg uses original / avg uses reduced (discrete)
+	QuerySpeedupWords  float64 // word uses original / word uses best bitvector
+	WordsPerCheck      float64 // avg word usages of the best bitvector column
+	BestBitvectorLabel string
+}
+
+// Memory computes the summary from a computed Reduction.
+func (t *Reduction) Memory() MemorySummary {
+	orig := t.Rows[0]
+	discrete := t.Rows[1]
+	best := t.Rows[len(t.Rows)-1]
+	ms := MemorySummary{
+		MachineName:        t.MachineName,
+		OrigBitsPerCycle:   orig.NumResources,
+		RedBitsPerCycle:    best.NumResources,
+		RedCyclesPerWord:   best.K,
+		BestBitvectorLabel: best.Label,
+		WordsPerCheck:      best.AvgWordUses,
+	}
+	// Reserved-table storage: the original packs 1 cycle per word; the
+	// reduced description packs K cycles per word.
+	origWordsPerCycle := 1.0
+	redWordsPerCycle := 1.0 / float64(best.K)
+	ms.StatePct = 100 * redWordsPerCycle / origWordsPerCycle
+	if orig.AvgUses > 0 {
+		ms.DescriptionPct = 100 * discrete.AvgUses / orig.AvgUses
+		ms.QuerySpeedupUses = orig.AvgUses / discrete.AvgUses
+	}
+	if best.AvgWordUses > 0 {
+		ms.QuerySpeedupWords = orig.AvgWordUses / best.AvgWordUses
+	}
+	return ms
+}

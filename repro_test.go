@@ -1,0 +1,202 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+const exampleSrc = `
+machine example
+resources r0 r1 r2 r3 r4
+op A latency 3 {
+  r0: 0
+  r1: 1
+  r2: 2
+}
+op B latency 8 {
+  r1: 0
+  r2: 1
+  r3: 2-5
+  r4: 6 7
+}
+`
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	m, err := repro.ParseMachine(exampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := repro.Reduce(m, repro.Objective{Kind: repro.ResUses})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.NumResources() != 2 {
+		t.Fatalf("reduced resources = %d, want 2 (Figure 1)", red.NumResources())
+	}
+	mod := repro.NewDiscreteModule(red.Reduced, 0)
+	a, b := red.Reduced.OpIndex("A"), red.Reduced.OpIndex("B")
+	if !mod.Check(a, 0) {
+		t.Fatal("empty table rejects A@0")
+	}
+	mod.Assign(a, 0, 1)
+	if mod.Check(b, 1) {
+		t.Fatal("B one cycle after A must conflict")
+	}
+	if !mod.Check(b, 2) {
+		t.Fatal("B two cycles after A must be free")
+	}
+}
+
+func TestPublicAPIBuilder(t *testing.T) {
+	b := repro.NewMachine("mini")
+	b.Resources("alu", "wb")
+	b.Op("add", 1).Use("alu", 0).Use("wb", 1)
+	m := b.Build()
+	out := repro.PrintMachine(m)
+	if !strings.Contains(out, "op add") {
+		t.Fatalf("PrintMachine output: %s", out)
+	}
+	m2, err := repro.ParseMachine(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Ops[0].Name != "add" {
+		t.Fatal("round trip lost op")
+	}
+}
+
+func TestPublicAPIBuiltins(t *testing.T) {
+	for _, name := range repro.BuiltinMachines() {
+		if repro.BuiltinMachine(name) == nil {
+			t.Errorf("BuiltinMachine(%q) = nil", name)
+		}
+	}
+	if repro.BuiltinMachine("bogus") != nil {
+		t.Error("bogus machine found")
+	}
+}
+
+func TestPublicAPIReduceErrors(t *testing.T) {
+	m := repro.BuiltinMachine("example")
+	if _, err := repro.Reduce(m, repro.Objective{Kind: repro.KCycleWord, K: 0}); err == nil {
+		t.Error("invalid objective accepted")
+	}
+	bad := m.Clone()
+	bad.Ops[0].Latency = -1
+	if _, err := repro.Reduce(bad, repro.Objective{Kind: repro.ResUses}); err == nil {
+		t.Error("invalid machine accepted")
+	}
+}
+
+func TestPublicAPIModuloScheduling(t *testing.T) {
+	m := repro.BuiltinMachine("cydra5")
+	src := `
+loop saxpy
+node addr aadd
+node ldx  ld.w
+node ldy  ld.w
+node mul  fmul.s
+node sum  fadd.s
+node sta  aadd
+node st   st.w
+node br   brtop
+edge addr addr delay 2 dist 1
+edge addr ldx delay 2
+edge addr ldy delay 2
+edge ldx mul delay 22
+edge mul sum delay 7
+edge ldy sum delay 22
+edge sta sta delay 2 dist 1
+edge sta st delay 2
+edge sum st delay 6
+edge sum br delay 1
+`
+	g, err := repro.ParseLoop(src, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mii := repro.MII(g, m)
+	if mii < 1 {
+		t.Fatalf("MII = %d", mii)
+	}
+	red, err := repro.Reduce(m, repro.Objective{Kind: repro.KCycleWord, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := repro.MaxCyclesPerWord(len(red.Reduced.Resources), 64)
+	r := repro.ModuloScheduleLoop(g, m, repro.BitvectorFactory(red.Reduced, k, 64), repro.DefaultSchedConfig())
+	if !r.OK {
+		t.Fatal("scheduling failed")
+	}
+	if err := repro.VerifyModuloSchedule(g, m.Expand(), r); err != nil {
+		t.Fatalf("schedule invalid against ORIGINAL description: %v", err)
+	}
+	if r.II < mii {
+		t.Fatalf("II %d < MII %d", r.II, mii)
+	}
+	if out := repro.PrintLoop(g, m); !strings.Contains(out, "node mul fmul.s") {
+		t.Errorf("PrintLoop output: %s", out)
+	}
+}
+
+func TestPublicAPIBenchmarkAndAutomaton(t *testing.T) {
+	m := repro.BuiltinMachine("cydra5")
+	loops, err := repro.BenchmarkLoops(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loops) != 1327 {
+		t.Fatalf("loops = %d", len(loops))
+	}
+	ex := repro.BuiltinMachine("example").Expand()
+	a, err := repro.BuildForwardAutomaton(ex, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumStates() < 3 {
+		t.Fatalf("states = %d", a.NumStates())
+	}
+}
+
+func TestPublicAPIKernelAndFactories(t *testing.T) {
+	m := repro.BuiltinMachine("cydra5")
+	g, err := repro.ParseLoop(`
+loop k
+node a aadd
+node l ld.w
+node f fadd.s
+node b brtop
+edge a a delay 2 dist 1
+edge a l delay 2
+edge l f delay 22
+edge f b delay 1
+`, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := m.Expand()
+	// Bitvector module through the facade.
+	k := repro.MaxCyclesPerWord(len(e.Resources), 64)
+	if k < 1 {
+		k = 1
+	}
+	if _, err := repro.NewBitvectorModule(e, k, 64, 0); err != nil {
+		t.Fatal(err)
+	}
+	r := repro.ModuloScheduleLoop(g, m, repro.DiscreteFactory(e), repro.DefaultSchedConfig())
+	if !r.OK {
+		t.Fatal("schedule failed")
+	}
+	kern, err := repro.BuildKernel(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kern.II != r.II || kern.Stages < 2 {
+		t.Fatalf("kernel II=%d stages=%d", kern.II, kern.Stages)
+	}
+	if err := repro.ValidateOverlap(g, e, r, 6); err != nil {
+		t.Fatalf("ValidateOverlap: %v", err)
+	}
+}
