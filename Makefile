@@ -1,0 +1,39 @@
+# Tier-1 checks and the parallel-layer benchmark report.
+#
+#   make            build + test
+#   make verify     build + vet + test + race (everything CI runs)
+#   make bench-json regenerate BENCH_parallel.json on this host
+
+GO ?= go
+
+.PHONY: all build test race vet bench bench-json verify clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The worker pools in internal/parallel, internal/forbidden, internal/core
+# and internal/tables are only meaningfully exercised under -race.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Serial-vs-parallel wall time for the Table 5/6 harnesses, the reduction
+# pipeline, and the reduction cache. Speedups are host-dependent; the
+# report records GOMAXPROCS and NumCPU.
+bench-json:
+	$(GO) run ./cmd/paper -bench-json BENCH_parallel.json -loops 300
+
+verify: build vet test race
+
+clean:
+	$(GO) clean ./...

@@ -17,6 +17,7 @@ import (
 	"repro/internal/ddg"
 	"repro/internal/loopgen"
 	"repro/internal/machines"
+	"repro/internal/parallel"
 	"repro/internal/query"
 	"repro/internal/resmodel"
 	"repro/internal/sched"
@@ -435,7 +436,78 @@ func BenchmarkAblationFastAlt(b *testing.B) {
 	}
 }
 
-// --- Figure 4 / public API surface: end-to-end reduce through the facade. ---
+// --- Parallel execution layer: the worker-pool harness and reduction
+// pipeline at workers=1 (the serial reference) versus GOMAXPROCS. On a
+// single-core host both sub-benchmarks measure the same work; the
+// `cmd/paper -bench-json` report records the honest speedup per host. ---
+
+func parallelWorkerCounts() []int {
+	n := parallel.Workers(0)
+	if n <= 1 {
+		return []int{1}
+	}
+	return []int{1, n}
+}
+
+func BenchmarkTable5Parallel(b *testing.B) {
+	m := machines.Cydra5()
+	loops := benchLoops(b, m, 150)
+	for _, w := range parallelWorkerCounts() {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tables.ComputeTable5Workers(m, loops, 6, w)
+			}
+		})
+	}
+}
+
+func BenchmarkTable6Parallel(b *testing.B) {
+	m := machines.Cydra5()
+	loops := benchLoops(b, m, 60)
+	reps := tables.PaperRepresentations(m)[:2]
+	for _, w := range parallelWorkerCounts() {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tables.ComputeTable6Workers(m, loops, reps, w)
+			}
+		})
+	}
+}
+
+func BenchmarkReductionPipelineParallel(b *testing.B) {
+	e := machines.Cydra5().Expand()
+	obj := core.Objective{Kind: core.ResUses}
+	for _, w := range parallelWorkerCounts() {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := core.ReduceParallel(e, obj, w)
+				if err := res.Verify(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReductionCacheHit measures the memo fast path: everything a
+// repeated reduction costs once the content-keyed cache holds the entry
+// (one fingerprint of the full Cydra 5 description plus a map lookup).
+func BenchmarkReductionCacheHit(b *testing.B) {
+	c := core.NewCache()
+	e := machines.Cydra5().Expand()
+	obj := core.Objective{Kind: core.ResUses}
+	c.Reduce(e, obj, 1) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Reduce(e, obj, 1) == nil {
+			b.Fatal("cache miss")
+		}
+	}
+}
+
+// --- Figure 4 / public API surface: end-to-end reduce through the facade.
+// repro.Reduce is memoized by the process-wide reduction cache, so after
+// the first iteration this measures the cached facade path. ---
 
 func BenchmarkPublicAPIReduce(b *testing.B) {
 	m := repro.BuiltinMachine("cydra5-subset")

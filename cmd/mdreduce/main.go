@@ -8,6 +8,12 @@
 //	mdreduce -machine cydra5 -objective res-uses
 //	mdreduce -file mymachine.mdl -objective 4-cycle-word
 //	mdreduce -machine mips -objective 2-cycle-word -stats-only
+//	mdreduce -machine cydra5 -parallel 8   # fan the pipeline across 8 workers
+//
+// Reductions go through the process-wide content-keyed cache: asking for
+// the same (machine content, objective) again — e.g. -exact after the
+// main reduction — reuses the verified result instead of re-running
+// reduce and Verify.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"repro"
 	"repro/internal/core"
 	"repro/internal/mdl"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -29,8 +36,10 @@ func main() {
 		objective = flag.String("objective", "res-uses", "res-uses or <k>-cycle-word")
 		statsOnly = flag.Bool("stats-only", false, "print statistics without the reduced description")
 		exact     = flag.Bool("exact", false, "also compute the optimal res-uses cover by branch and bound (small machines only)")
+		nParallel = flag.Int("parallel", 0, "worker-pool size for the reduction pipeline and -exact search (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
+	workers := parallel.Workers(*nParallel)
 
 	m, err := loadMachine(*file, *machine)
 	if err != nil {
@@ -43,7 +52,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	red, err := repro.Reduce(m, obj)
+	red, err := repro.ReduceParallel(m, obj, workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mdreduce:", err)
 		os.Exit(1)
@@ -64,9 +73,9 @@ func main() {
 	fmt.Println("verification: reduced description preserves all scheduling constraints")
 
 	if *exact {
-		gen := core.GeneratingSet(red.ClassMatrix, nil)
+		gen := core.GeneratingSetParallel(red.ClassMatrix, nil, workers)
 		pruned := core.Prune(red.ClassMatrix, gen)
-		opt := core.ExactCover(red.ClassMatrix, pruned, 2_000_000)
+		opt := core.ExactCoverWorkers(red.ClassMatrix, pruned, 2_000_000, workers)
 		status := "optimal"
 		if !opt.Optimal {
 			status = "best found (search truncated)"

@@ -10,6 +10,14 @@
 //	paper -summary        # headline numbers of the abstract
 //	paper -table 5 -budget 2   # Table 5 ablation at budget 2N
 //	paper -loops 300      # subsample the 1327-loop benchmark (faster)
+//	paper -table 6 -parallel 8 # fan per-loop scheduling across 8 workers
+//	paper -bench-json BENCH_parallel.json  # serial-vs-parallel wall-time report
+//
+// -parallel fans the per-loop scheduling of Tables 5/6 and the kernel
+// report across a bounded worker pool (0 = GOMAXPROCS); output is
+// byte-identical at every worker count. Each machine is reduced at most
+// once per process regardless of how many tables request it (reduction
+// cache).
 package main
 
 import (
@@ -18,21 +26,32 @@ import (
 	"os"
 
 	"repro/internal/machines"
+	"repro/internal/parallel"
 	"repro/internal/tables"
 )
 
 func main() {
 	var (
-		table   = flag.Int("table", 0, "regenerate table 1-6")
-		fig     = flag.Int("fig", 0, "regenerate figure 1, 3 or 4")
-		summary = flag.Bool("summary", false, "print the headline summary")
-		memory  = flag.Bool("memory", false, "print measured reserved-table storage per representation")
-		kernels = flag.Bool("kernels", false, "software-pipeline the named Livermore-style kernels")
-		all     = flag.Bool("all", false, "regenerate everything")
-		budget  = flag.Int("budget", 6, "scheduling-decision budget ratio for Table 5")
-		loops   = flag.Int("loops", 0, "restrict the loop benchmark to the first N loops (0 = all 1327)")
+		table     = flag.Int("table", 0, "regenerate table 1-6")
+		fig       = flag.Int("fig", 0, "regenerate figure 1, 3 or 4")
+		summary   = flag.Bool("summary", false, "print the headline summary")
+		memory    = flag.Bool("memory", false, "print measured reserved-table storage per representation")
+		kernels   = flag.Bool("kernels", false, "software-pipeline the named Livermore-style kernels")
+		all       = flag.Bool("all", false, "regenerate everything")
+		budget    = flag.Int("budget", 6, "scheduling-decision budget ratio for Table 5")
+		loops     = flag.Int("loops", 0, "restrict the loop benchmark to the first N loops (0 = all 1327)")
+		nParallel = flag.Int("parallel", 0, "worker-pool size for per-loop scheduling (0 = GOMAXPROCS, 1 = serial)")
+		benchJSON = flag.String("bench-json", "", "measure serial-vs-parallel wall time and write the report to this file (e.g. BENCH_parallel.json)")
 	)
 	flag.Parse()
+	workers := parallel.Workers(*nParallel)
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, workers, *loops); err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if !*all && *table == 0 && *fig == 0 && !*summary && !*memory && !*kernels {
 		flag.Usage()
 		os.Exit(2)
@@ -67,11 +86,11 @@ func main() {
 			bench = bench[:*loops]
 		}
 		if *all || *table == 5 {
-			fmt.Println(tables.ComputeTable5(m, bench, *budget).Render())
+			fmt.Println(tables.ComputeTable5Workers(m, bench, *budget, workers).Render())
 		}
 		if *all || *table == 6 {
 			reps := tables.PaperRepresentations(m)
-			fmt.Println(tables.ComputeTable6(m, bench, reps).Render())
+			fmt.Println(tables.ComputeTable6Workers(m, bench, reps, workers).Render())
 		}
 	}
 	if *all || *fig == 4 {
@@ -85,7 +104,7 @@ func main() {
 			[]string{"mips", "alpha", "cydra5", "parisc"}, 24)))
 	}
 	if *all || *kernels {
-		rows, err := tables.ComputeKernels(machines.Cydra5())
+		rows, err := tables.ComputeKernelsWorkers(machines.Cydra5(), workers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "paper:", err)
 			os.Exit(1)

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/resmodel"
+)
+
+// Fingerprint returns the FNV-1a content hash of the canonicalized
+// expanded machine description: operation count, resource count, and for
+// every operation its latency, original-operation index, alternative
+// index, and reservation-table usages sorted by (resource, cycle), plus
+// the alternative-group structure. Names are deliberately excluded — two
+// descriptions that generate the same forbidden-latency matrix inputs
+// hash equally regardless of labeling — so the hash keys reductions by
+// scheduling-relevant content only.
+func Fingerprint(e *resmodel.Expanded) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wi := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	wi(len(e.Resources))
+	wi(len(e.Ops))
+	us := make([]resmodel.Usage, 0, 16)
+	for _, o := range e.Ops {
+		wi(o.Latency)
+		wi(o.Orig)
+		wi(o.Alt)
+		us = append(us[:0], o.Table.Uses...)
+		sort.Slice(us, func(i, j int) bool {
+			if us[i].Resource != us[j].Resource {
+				return us[i].Resource < us[j].Resource
+			}
+			return us[i].Cycle < us[j].Cycle
+		})
+		wi(len(us))
+		for _, u := range us {
+			wi(u.Resource)
+			wi(u.Cycle)
+		}
+	}
+	wi(len(e.AltGroup))
+	for _, g := range e.AltGroup {
+		wi(len(g))
+		for _, op := range g {
+			wi(op)
+		}
+	}
+	return h.Sum64()
+}
+
+// cacheKey identifies one reduction: the content hash of the input
+// description plus the full objective (kind and k-cycle-word parameter).
+// The word size of the eventual bitvector module is not part of the key
+// because it does not influence the reduction, only how the reduced
+// description is packed.
+type cacheKey struct {
+	fp   uint64
+	kind ObjectiveKind
+	k    int
+}
+
+// cacheEntry memoizes one reduction. The sync.Once serializes concurrent
+// first requests for the same key (classic singleflight), so a machine is
+// reduced exactly once per process even when tables race for it.
+type cacheEntry struct {
+	once sync.Once
+	res  *Result
+}
+
+// Cache is a content-keyed memo of completed reductions. Reducing a
+// machine is orders of magnitude more expensive than hashing it, and
+// cmd/paper re-reduces the same machines for every table and figure;
+// the cache makes each (machine, objective) reduction a once-per-process
+// cost. Because Result.Verify is itself memoized, a cache hit also skips
+// verification re-computation — the verification outcome is part of the
+// cached entry.
+//
+// Cached Results are shared: callers must treat them (including Reduced,
+// ReducedClass and ClassTables) as read-only, which every consumer in
+// this repository already does.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+// NewCache returns an empty reduction cache.
+func NewCache() *Cache { return &Cache{entries: map[cacheKey]*cacheEntry{}} }
+
+// DefaultCache is the process-wide reduction cache used by CachedReduce.
+var DefaultCache = NewCache()
+
+// Reduce returns the cached reduction of e under obj, computing it with
+// ReduceParallel on first request. Concurrent requests for the same key
+// block on the single in-flight computation instead of duplicating it.
+func (c *Cache) Reduce(e *resmodel.Expanded, obj Objective, workers int) *Result {
+	key := cacheKey{fp: Fingerprint(e), kind: obj.Kind, k: obj.K}
+	c.mu.Lock()
+	ent := c.entries[key]
+	if ent == nil {
+		ent = &cacheEntry{}
+		c.entries[key] = ent
+	}
+	c.mu.Unlock()
+	hit := true
+	ent.once.Do(func() {
+		hit = false
+		ent.res = ReduceParallel(e, obj, workers)
+	})
+	if hit {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return ent.res
+}
+
+// Stats returns the hit and miss counts so far.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of cached reductions.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// CachedReduce reduces through the process-wide DefaultCache with the
+// serial reference pipeline.
+func CachedReduce(e *resmodel.Expanded, obj Objective) *Result {
+	return DefaultCache.Reduce(e, obj, 1)
+}
+
+// CachedReduceParallel reduces through the process-wide DefaultCache,
+// fanning a cache miss's pipeline across the given worker count.
+func CachedReduceParallel(e *resmodel.Expanded, obj Objective, workers int) *Result {
+	return DefaultCache.Reduce(e, obj, workers)
+}

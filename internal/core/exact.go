@@ -2,8 +2,11 @@ package core
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/forbidden"
+	"repro/internal/parallel"
 )
 
 // ExactCoverResult is the outcome of the optimal cover search.
@@ -26,9 +29,21 @@ type ExactCoverResult struct {
 // machines, to quantify how close the greedy SelectCover lands; maxNodes
 // bounds the search (0 means 1e6).
 func ExactCover(m *forbidden.Matrix, G []*Resource, maxNodes int) ExactCoverResult {
+	return ExactCoverWorkers(m, G, maxNodes, 1)
+}
+
+// ExactCoverWorkers is ExactCover with the root-level subtrees of the
+// branch and bound explored concurrently: each candidate of the root
+// branching triple gets its own search state, and all workers share an
+// atomic best-usages bound so an improvement found in one subtree
+// immediately prunes the others. The optimum value is identical at every
+// worker count (the bound only tightens); the witness selection may be a
+// different optimum. workers <= 1 is the serial reference path.
+func ExactCoverWorkers(m *forbidden.Matrix, G []*Resource, maxNodes, workers int) ExactCoverResult {
 	if maxNodes <= 0 {
 		maxNodes = 1 << 20
 	}
+	workers = parallel.Workers(workers)
 	numOps, span := m.NumOps, m.Span
 
 	var universe []int64
@@ -59,23 +74,66 @@ func ExactCover(m *forbidden.Matrix, G []*Resource, maxNodes int) ExactCoverResu
 
 	// Greedy solution provides the initial upper bound.
 	greedy := SelectCover(m, G, Objective{Kind: ResUses})
-	best := ExactCoverResult{Selected: greedy, Usages: totalUsages(greedy)}
+	sh := &exactShared{maxNodes: int64(maxNodes)}
+	sh.best = ExactCoverResult{Selected: greedy, Usages: totalUsages(greedy)}
+	sh.bestUsages.Store(int64(sh.best.Usages))
 
-	st := &exactState{
-		m: m, G: G, cands: cands,
-		covered:  make(map[int64]int, len(universe)),
-		selected: make([]map[uint32]bool, len(G)),
-		universe: universe,
-		maxNodes: maxNodes,
-		best:     &best,
+	newState := func() *exactState {
+		st := &exactState{
+			m: m, G: G, cands: cands,
+			covered:  make(map[int64]int, len(universe)),
+			selected: make([]map[uint32]bool, len(G)),
+			universe: universe,
+			sh:       sh,
+		}
+		for i := range st.selected {
+			st.selected[i] = map[uint32]bool{}
+		}
+		return st
 	}
-	for i := range st.selected {
-		st.selected[i] = map[uint32]bool{}
+
+	completed := true
+	rootCands := rootBranch(universe, cands)
+	if workers <= 1 || len(rootCands) < 2 {
+		completed = newState().search(0)
+	} else {
+		// The root node itself, then one independent subtree per root
+		// candidate; the shared atomic bound links their pruning.
+		sh.nodes.Add(1)
+		var incomplete atomic.Bool
+		parallel.ForEach(len(rootCands), workers, func(ci int) {
+			st := newState()
+			c := rootCands[ci]
+			added := st.apply(c)
+			if !st.search(1) {
+				incomplete.Store(true)
+			}
+			st.undo(c, added)
+		})
+		completed = !incomplete.Load()
 	}
-	completed := st.search(0)
+
+	best := sh.best
 	best.Optimal = completed
-	best.Nodes = st.nodes
+	best.Nodes = int(sh.nodes.Load())
 	return best
+}
+
+// rootBranch picks the root branching triple exactly as search does on an
+// empty cover — the uncovered triple with the fewest candidates — and
+// returns its candidate list (nil when the universe is already empty).
+func rootBranch(universe []int64, cands map[int64][]candidate) []candidate {
+	var pick int64 = -1
+	pickLen := 1 << 30
+	for _, t := range universe {
+		if l := len(cands[t]); l < pickLen {
+			pick, pickLen = t, l
+		}
+	}
+	if pick < 0 {
+		return nil
+	}
+	return cands[pick]
 }
 
 func totalUsages(sel []Selected) int {
@@ -86,6 +144,30 @@ func totalUsages(sel []Selected) int {
 	return n
 }
 
+// exactShared is the state shared by all concurrent subtree searches: the
+// node budget and the best cover found so far. bestUsages doubles as the
+// lock-free pruning bound read on every search node; best itself is
+// updated under the mutex.
+type exactShared struct {
+	nodes      atomic.Int64
+	maxNodes   int64
+	bestUsages atomic.Int64
+	mu         sync.Mutex
+	best       ExactCoverResult
+}
+
+// record installs a complete cover if it still improves on the best.
+func (sh *exactShared) record(usages int, snapshot func() []Selected) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if int64(usages) >= sh.bestUsages.Load() {
+		return // another worker got there first
+	}
+	sh.bestUsages.Store(int64(usages))
+	sh.best.Usages = usages
+	sh.best.Selected = snapshot()
+}
+
 type exactState struct {
 	m        *forbidden.Matrix
 	G        []*Resource
@@ -94,18 +176,15 @@ type exactState struct {
 	selected []map[uint32]bool
 	universe []int64
 	usages   int
-	nodes    int
-	maxNodes int
-	best     *ExactCoverResult
+	sh       *exactShared
 }
 
 // search explores selections; returns false if the node budget was hit.
 func (s *exactState) search(depth int) bool {
-	s.nodes++
-	if s.nodes > s.maxNodes {
+	if s.sh.nodes.Add(1) > s.sh.maxNodes {
 		return false
 	}
-	if s.usages >= s.best.Usages {
+	if int64(s.usages) >= s.sh.bestUsages.Load() {
 		return true // bound: cannot improve
 	}
 	// Pick the uncovered triple with the fewest candidates.
@@ -122,9 +201,9 @@ func (s *exactState) search(depth int) bool {
 		}
 	}
 	if !found {
-		// Complete cover, strictly better than best (checked above).
-		s.best.Usages = s.usages
-		s.best.Selected = s.snapshot()
+		// Complete cover, strictly better than the bound read above (the
+		// shared record re-checks under the lock).
+		s.sh.record(s.usages, s.snapshot)
 		return true
 	}
 	complete := true
@@ -134,7 +213,7 @@ func (s *exactState) search(depth int) bool {
 			complete = false
 		}
 		s.undo(c, added)
-		if s.nodes > s.maxNodes {
+		if s.sh.nodes.Load() > s.sh.maxNodes {
 			return false
 		}
 	}

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/forbidden"
+	"repro/internal/parallel"
 	"repro/internal/resmodel"
 )
 
@@ -37,25 +39,45 @@ type Result struct {
 	Reduced *resmodel.Expanded
 	// Trace, when requested, records the generating-set construction.
 	Trace *Trace
+
+	// workers is the pool size the reduction ran with; Verify reuses it.
+	workers int
+	// Verification is expensive (it recomputes two forbidden-latency
+	// matrices) and its outcome is immutable, so it runs once per Result;
+	// cached Results (see Cache) therefore skip re-verification for free.
+	verifyOnce sync.Once
+	verifyErr  error
 }
 
 // Reduce runs the full three-step reduction of the paper on an expanded
 // machine description.
 func Reduce(e *resmodel.Expanded, obj Objective) *Result {
-	return reduce(e, obj, false)
+	return reduce(e, obj, false, 1)
+}
+
+// ReduceParallel is Reduce with the independent inner work — the
+// forbidden-matrix rows and the pair-compatibility scans of the
+// generating-set construction — fanned across a worker pool of the given
+// size (workers < 1 selects GOMAXPROCS). The Result is identical to
+// Reduce's at every worker count; workers == 1 is the serial reference.
+func ReduceParallel(e *resmodel.Expanded, obj Objective, workers int) *Result {
+	return reduce(e, obj, false, parallel.Workers(workers))
 }
 
 // ReduceTraced is Reduce with Figure-3-style trace collection enabled.
 func ReduceTraced(e *resmodel.Expanded, obj Objective) *Result {
-	return reduce(e, obj, true)
+	return reduce(e, obj, true, 1)
 }
 
-func reduce(e *resmodel.Expanded, obj Objective, traced bool) *Result {
+func reduce(e *resmodel.Expanded, obj Objective, traced bool, workers int) *Result {
 	if err := obj.Validate(); err != nil {
 		panic(err)
 	}
-	r := &Result{Input: e, Objective: obj}
-	r.Matrix = forbidden.Compute(e)
+	if workers < 1 {
+		workers = 1
+	}
+	r := &Result{Input: e, Objective: obj, workers: workers}
+	r.Matrix = forbidden.ComputeParallel(e, workers)
 	r.Classes = r.Matrix.ComputeClasses()
 	r.ClassMatrix = r.Matrix.Collapse(r.Classes)
 
@@ -65,7 +87,7 @@ func reduce(e *resmodel.Expanded, obj Objective, traced bool) *Result {
 			return e.Ops[r.Classes.Rep[c]].Name
 		}}
 	}
-	gen := GeneratingSet(r.ClassMatrix, tr)
+	gen := GeneratingSetParallel(r.ClassMatrix, tr, workers)
 	r.Trace = tr
 	r.GenSetSize = len(gen)
 	pruned := Prune(r.ClassMatrix, gen)
@@ -128,13 +150,24 @@ func reduce(e *resmodel.Expanded, obj Objective, traced bool) *Result {
 // the paper's correctness criterion ("querying for resource contentions
 // using either the original or reduced machine descriptions yields the
 // same answer"). It checks both the per-operation and the class-level
-// reduced machines.
+// reduced machines. The check runs once per Result and is memoized:
+// repeated calls (including via the reduction cache) return the recorded
+// outcome without recomputation.
 func (r *Result) Verify() error {
-	got := forbidden.Compute(r.Reduced)
+	r.verifyOnce.Do(func() { r.verifyErr = r.verify() })
+	return r.verifyErr
+}
+
+func (r *Result) verify() error {
+	workers := r.workers
+	if workers < 1 {
+		workers = 1
+	}
+	got := forbidden.ComputeParallel(r.Reduced, workers)
 	if d := got.Diff(r.Matrix, r.Input); d != "" {
 		return fmt.Errorf("core: reduced description changes scheduling constraints: %s", d)
 	}
-	gotC := forbidden.Compute(r.ReducedClass)
+	gotC := forbidden.ComputeParallel(r.ReducedClass, workers)
 	if d := gotC.Diff(r.ClassMatrix, r.ReducedClass); d != "" {
 		return fmt.Errorf("core: class-level reduced description changes scheduling constraints: %s", d)
 	}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/bitset"
+	"repro/internal/parallel"
 	"repro/internal/resmodel"
 )
 
@@ -36,6 +37,15 @@ type Matrix struct {
 // Compute builds the forbidden-latency matrix of an expanded machine by
 // overlapping every pair of reservation tables (Step 1 of the paper).
 func Compute(e *resmodel.Expanded) *Matrix {
+	return ComputeParallel(e, 1)
+}
+
+// ComputeParallel is Compute fanned across a bounded worker pool: row x
+// of the matrix depends only on operation x's usages and the (read-only)
+// per-resource user lists, so rows are computed independently and each
+// worker writes only its own rows. The result is identical to Compute at
+// every worker count; workers <= 1 is the serial reference.
+func ComputeParallel(e *resmodel.Expanded, workers int) *Matrix {
 	n := len(e.Ops)
 	span := e.MaxSpan()
 	if span == 0 {
@@ -43,12 +53,6 @@ func Compute(e *resmodel.Expanded) *Matrix {
 	}
 	m := &Matrix{NumOps: n, Span: span}
 	m.sets = make([][]*bitset.Signed, n)
-	for x := 0; x < n; x++ {
-		m.sets[x] = make([]*bitset.Signed, n)
-		for y := 0; y < n; y++ {
-			m.sets[x][y] = bitset.NewSigned(-(span - 1), span-1)
-		}
-	}
 	// usersOf[r] lists every (op, cycle) usage of resource r.
 	type use struct{ op, cycle int }
 	usersOf := make([][]use, len(e.Resources))
@@ -57,15 +61,20 @@ func Compute(e *resmodel.Expanded) *Matrix {
 			usersOf[u.Resource] = append(usersOf[u.Resource], use{oi, u.Cycle})
 		}
 	}
-	for _, users := range usersOf {
-		for _, a := range users {
-			for _, b := range users {
-				// Scheduling a at time t+(b.cycle-a.cycle) and b at time t
-				// makes both use this resource simultaneously.
-				m.sets[a.op][b.op].Add(b.cycle - a.cycle)
+	parallel.ForEach(n, workers, func(x int) {
+		row := make([]*bitset.Signed, n)
+		for y := 0; y < n; y++ {
+			row[y] = bitset.NewSigned(-(span - 1), span-1)
+		}
+		for _, a := range e.Ops[x].Table.Uses {
+			for _, b := range usersOf[a.Resource] {
+				// Scheduling x at time t+(b.cycle-a.Cycle) and b.op at time
+				// t makes both use this resource simultaneously.
+				row[b.op].Add(b.cycle - a.Cycle)
 			}
 		}
-	}
+		m.sets[x] = row
+	})
 	return m
 }
 

@@ -1,0 +1,76 @@
+// Package parallel provides the bounded worker pool that fans the
+// repository's independent units of work — per-loop scheduling,
+// forbidden-matrix rows, pair-compatibility scans, branch-and-bound
+// subtrees — across GOMAXPROCS goroutines.
+//
+// Determinism contract: workers write results into caller-indexed slots
+// and the caller merges them in index order, so any computation whose
+// per-index work is independent produces byte-identical output at every
+// worker count. workers <= 1 always runs serially on the calling
+// goroutine and is the reference path for equivalence tests.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count request: n < 1 selects GOMAXPROCS
+// (the default of every -parallel flag), anything else is returned as is.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n), fanning calls across at most
+// workers goroutines with work stealing (an atomic index, so uneven item
+// costs balance). workers <= 1 runs serially in index order on the
+// calling goroutine. A panic in any worker is re-raised on the caller
+// after all workers have drained.
+func ForEach(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var firstPanic atomic.Pointer[any]
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					firstPanic.CompareAndSwap(nil, &p)
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := firstPanic.Load(); p != nil {
+		panic(*p)
+	}
+}
+
+// Map applies fn to every index in [0, n) across the worker pool and
+// returns the results in index order.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}

@@ -55,7 +55,10 @@ type Bitvector struct {
 	updateMode bool
 	owners     []int32
 	ownerWidth int
-	ctr        Counters
+	// evictScratch backs the slice AssignFree returns, reused across
+	// calls so steady-state eviction allocates nothing.
+	evictScratch []int
+	ctr          Counters
 }
 
 // NewBitvector creates a bitvector-representation module. k is the number
@@ -156,10 +159,22 @@ func (b *Bitvector) WordsPerOp(op, align int) int {
 
 // --- low-level helpers ---
 
+// growWords extends the linear reserved table to cover word w, doubling
+// capacity with a single zeroed allocation (no temporary append slice).
 func (b *Bitvector) growWords(w int) {
-	for w >= len(b.reserved) {
-		b.reserved = append(b.reserved, make([]uint64, len(b.reserved))...)
+	if w < len(b.reserved) {
+		return
 	}
+	n := len(b.reserved)
+	if n == 0 {
+		n = 1
+	}
+	for n <= w {
+		n *= 2
+	}
+	grown := make([]uint64, n)
+	copy(grown, b.reserved)
+	b.reserved = grown
 }
 
 func (b *Bitvector) modCycle(cycle int) int {
@@ -416,16 +431,19 @@ func (b *Bitvector) ownerCell(r, cycle int) *int32 {
 		c = b.modCycle(cycle)
 	} else {
 		if cycle >= b.ownerWidth {
+			// Double the grid width in one allocation; only the fresh
+			// tail of each resource row needs the -1 (unowned) fill.
 			nw := b.ownerWidth
 			for nw <= cycle {
 				nw *= 2
 			}
 			cells := make([]int32, b.nRes*nw)
-			for i := range cells {
-				cells[i] = -1
-			}
 			for rr := 0; rr < b.nRes; rr++ {
-				copy(cells[rr*nw:rr*nw+b.ownerWidth], b.owners[rr*b.ownerWidth:(rr+1)*b.ownerWidth])
+				row := cells[rr*nw : (rr+1)*nw]
+				copy(row, b.owners[rr*b.ownerWidth:(rr+1)*b.ownerWidth])
+				for i := b.ownerWidth; i < nw; i++ {
+					row[i] = -1
+				}
 			}
 			b.owners, b.ownerWidth = cells, nw
 		}
@@ -440,9 +458,12 @@ func (b *Bitvector) setOwners(op, cycle int, id int32) {
 	}
 }
 
-// updateAssignFree is the usage-by-usage assign&free of update mode.
+// updateAssignFree is the usage-by-usage assign&free of update mode. The
+// returned eviction list is backed by a scratch buffer owned by the
+// module and is valid until the next AssignFree call — the scheduler
+// consumes it immediately, so steady-state evictions allocate nothing.
 func (b *Bitvector) updateAssignFree(op, cycle, id int) []int {
-	var evicted []int
+	evicted := b.evictScratch[:0]
 	for _, u := range b.c.uses[op] {
 		b.ctr.AssignFreeWork++
 		t := cycle + u.Cycle
@@ -456,6 +477,7 @@ func (b *Bitvector) updateAssignFree(op, cycle, id int) []int {
 		b.setBit(u.Resource, t)
 		*b.ownerCell(u.Resource, t) = int32(id)
 	}
+	b.evictScratch = evicted
 	return evicted
 }
 

@@ -1,0 +1,27 @@
+package sched
+
+import (
+	"repro/internal/ddg"
+	"repro/internal/parallel"
+	"repro/internal/resmodel"
+)
+
+// ScheduleBatch modulo-schedules every loop of a benchmark independently
+// across a bounded worker pool of the given size (workers < 1 selects
+// GOMAXPROCS, workers == 1 is the serial reference path). Loops are the
+// trivially parallel unit of the paper's evaluation: each Schedule call
+// builds its own query modules through the factory, so nothing mutable is
+// shared between workers.
+//
+// factory(i) returns the ModuleFactory for loop i. The modules a
+// ModuleFactory builds are mutable and must be private to that loop's
+// Schedule call; the factory may capture shared state only if it is
+// read-only (an *resmodel.Expanded is; a query.Module is not).
+//
+// Results are returned indexed by loop, so merging statistics in index
+// order reproduces the serial iteration byte for byte.
+func ScheduleBatch(loops []*ddg.Graph, m *resmodel.Machine, factory func(loop int) ModuleFactory, cfg Config, workers int) []Result {
+	return parallel.Map(len(loops), parallel.Workers(workers), func(i int) Result {
+		return Schedule(loops[i], m, factory(i), cfg)
+	})
+}

@@ -43,7 +43,7 @@ func Figure1() string {
 		}
 	}
 
-	res := core.Reduce(e, core.Objective{Kind: core.ResUses})
+	res := core.CachedReduce(e, core.Objective{Kind: core.ResUses})
 	if err := res.Verify(); err != nil {
 		panic(err)
 	}
@@ -127,7 +127,7 @@ func Figure4() string {
 
 	renderAll("a) Original machine description", e)
 
-	ru := core.Reduce(e, core.Objective{Kind: core.ResUses})
+	ru := core.CachedReduce(e, core.Objective{Kind: core.ResUses})
 	mustExact(ru)
 	renderAll("b) Discrete-representation reduced description", ru.ReducedClass)
 
@@ -139,7 +139,7 @@ func Figure4() string {
 	if k < 1 {
 		k = 1
 	}
-	kw := core.Reduce(e, core.Objective{Kind: core.KCycleWord, K: k})
+	kw := core.CachedReduce(e, core.Objective{Kind: core.KCycleWord, K: k})
 	mustExact(kw)
 	renderAll(fmt.Sprintf("c) Bitvector-representation reduced description (64-bit word, %d cycles/word)", k),
 		kw.ReducedClass)

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/loopgen"
+	"repro/internal/parallel"
 	"repro/internal/query"
 	"repro/internal/resmodel"
 	"repro/internal/sched"
@@ -26,29 +27,47 @@ type KernelRow struct {
 // kernels on the machine (through the original description; reduced
 // descriptions produce identical schedules).
 func ComputeKernels(m *resmodel.Machine) ([]KernelRow, error) {
+	return ComputeKernelsWorkers(m, 1)
+}
+
+// ComputeKernelsWorkers is ComputeKernels with the per-kernel Schedule
+// calls fanned across a bounded worker pool (workers < 1 selects
+// GOMAXPROCS). Rows come back in kernel order regardless of worker
+// count; the first error in kernel order is reported.
+func ComputeKernelsWorkers(m *resmodel.Machine, workers int) ([]KernelRow, error) {
 	e := m.Expand()
 	ks, err := loopgen.ParseKernels(m)
 	if err != nil {
 		return nil, err
 	}
-	var rows []KernelRow
-	for i, k := range loopgen.Kernels() {
+	kernels := loopgen.Kernels()
+	rows := make([]KernelRow, len(kernels))
+	errs := make([]error, len(kernels))
+	parallel.ForEach(len(kernels), parallel.Workers(workers), func(i int) {
+		k := kernels[i]
 		g := ks[i]
 		r := sched.Schedule(g, m, func(ii int) query.Module {
 			return query.NewDiscrete(e, ii)
 		}, sched.DefaultConfig())
 		if !r.OK {
-			return nil, fmt.Errorf("tables: kernel %s failed to schedule", k.Name)
+			errs[i] = fmt.Errorf("tables: kernel %s failed to schedule", k.Name)
+			return
 		}
 		kern, err := sched.BuildKernel(g, r)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
-		rows = append(rows, KernelRow{
+		rows[i] = KernelRow{
 			Name: k.Name, Desc: k.Desc, Ops: len(g.Nodes),
 			ResMII: r.ResMII, RecMII: r.RecMII, II: r.II,
 			Stages: kern.Stages, Decisions: r.Decisions,
-		})
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return rows, nil
 }

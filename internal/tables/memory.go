@@ -35,10 +35,10 @@ func ComputeMemory(names []string, ii int) []MemoryRow {
 			panic("tables: unknown machine " + name)
 		}
 		e := m.Expand()
-		ru := core.Reduce(e, core.Objective{Kind: core.ResUses})
+		ru := core.CachedReduce(e, core.Objective{Kind: core.ResUses})
 		mustExact(ru)
 		k := query.MaxCyclesPerWord(ru.NumResources(), 64)
-		kw := core.Reduce(e, core.Objective{Kind: core.KCycleWord, K: k})
+		kw := core.CachedReduce(e, core.Objective{Kind: core.KCycleWord, K: k})
 		mustExact(kw)
 		if k2 := query.MaxCyclesPerWord(kw.NumResources(), 64); k2 < k {
 			k = k2

@@ -78,7 +78,7 @@ func ComputeReduction(m *resmodel.Machine) *Reduction {
 	})
 
 	addRow := func(label string, obj core.Objective, wordBits, k int) {
-		res := core.Reduce(e, obj)
+		res := core.CachedReduce(e, obj)
 		if err := res.Verify(); err != nil {
 			panic(fmt.Sprintf("tables: reduction of %s for %v is not exact: %v", m.Name, obj, err))
 		}

@@ -69,13 +69,26 @@ type Table5 struct {
 // (the representation does not change any schedule, so the statistics are
 // representation-independent).
 func ComputeTable5(m *resmodel.Machine, loops []*ddg.Graph, budgetRatio int) *Table5 {
+	return ComputeTable5Workers(m, loops, budgetRatio, 1)
+}
+
+// ComputeTable5Workers is ComputeTable5 with the per-loop Schedule calls
+// fanned across a bounded worker pool (workers < 1 selects GOMAXPROCS).
+// Loops are scheduled independently — every Schedule call builds private
+// query modules over the shared read-only expanded description — and the
+// per-loop results are merged in loop order, so the rendered table is
+// byte-identical at every worker count.
+func ComputeTable5Workers(m *resmodel.Machine, loops []*ddg.Graph, budgetRatio, workers int) *Table5 {
 	e := m.Expand()
-	factory := func(ii int) query.Module { return query.NewDiscrete(e, ii) }
+	results := sched.ScheduleBatch(loops, m, func(int) sched.ModuleFactory {
+		return func(ii int) query.Module { return query.NewDiscrete(e, ii) }
+	}, sched.Config{BudgetRatio: budgetRatio}, workers)
+
 	t := &Table5{BudgetRatio: budgetRatio, Loops: len(loops)}
 	var ops, iis, ratios, decPerOp []float64
 	attempts, exceeded, noRev := 0, 0, 0
-	for _, g := range loops {
-		r := sched.Schedule(g, m, factory, sched.Config{BudgetRatio: budgetRatio})
+	for i, g := range loops {
+		r := results[i]
 		if !r.OK {
 			panic(fmt.Sprintf("tables: %s failed to schedule", g.Name))
 		}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ddg"
+	"repro/internal/parallel"
 	"repro/internal/query"
 	"repro/internal/resmodel"
 	"repro/internal/sched"
@@ -45,7 +46,7 @@ func (r Representation) Factory() sched.ModuleFactory {
 func PaperRepresentations(m *resmodel.Machine) []Representation {
 	e := m.Expand()
 	reps := []Representation{{Label: "original", Desc: e}}
-	ru := core.Reduce(e, core.Objective{Kind: core.ResUses})
+	ru := core.CachedReduce(e, core.Objective{Kind: core.ResUses})
 	mustExact(ru)
 	reps = append(reps, Representation{Label: "res-uses", Desc: ru.Reduced})
 
@@ -55,7 +56,7 @@ func PaperRepresentations(m *resmodel.Machine) []Representation {
 	}
 	addWord := func(k, bits int) {
 		obj := core.Objective{Kind: core.KCycleWord, K: k}
-		res := core.Reduce(e, obj)
+		res := core.CachedReduce(e, obj)
 		mustExact(res)
 		// The description's own resource count bounds the packing.
 		rr := res.NumResources()
@@ -116,17 +117,37 @@ type Table6 struct {
 	ResourceReversePct float64            // % of reversals due to resources
 }
 
+// loopStats is the per-loop slice of Table 6's measurements: the summed
+// counters of every module the loop's Schedule call built, plus the
+// scheduler statistics of its result. Each worker writes only its own
+// loop's slot, and the slots are merged serially in loop order, so the
+// aggregation is race-free and reproduces the serial iteration exactly.
+type loopStats struct {
+	ctrs         query.Counters
+	reversed     int
+	resourceRev  int
+	checksPerDec []int
+}
+
 // ComputeTable6 schedules the loop benchmark once per representation and
 // measures the contention query module.
 func ComputeTable6(m *resmodel.Machine, loops []*ddg.Graph, reps []Representation) *Table6 {
+	return ComputeTable6Workers(m, loops, reps, 1)
+}
+
+// ComputeTable6Workers is ComputeTable6 with each representation's
+// per-loop Schedule calls fanned across a bounded worker pool (workers
+// < 1 selects GOMAXPROCS). Modules are created per loop through the
+// representation's factory and never shared between workers; the
+// rendered table is byte-identical at every worker count.
+func ComputeTable6Workers(m *resmodel.Machine, loops []*ddg.Graph, reps []Representation, workers int) *Table6 {
 	t := &Table6{CheckDistribution: map[string]float64{}}
 	for ri, rep := range reps {
 		t.Labels = append(t.Labels, rep.Label)
-		total := query.Counters{}
-		decisions, reversed, resourceRev := 0, 0, 0
-		var checksPerDec []int
 		factory := rep.Factory()
-		for _, g := range loops {
+		stats := make([]loopStats, len(loops))
+		parallel.ForEach(len(loops), parallel.Workers(workers), func(i int) {
+			g := loops[i]
 			var ctrs []*query.Counters
 			wrapped := func(ii int) query.Module {
 				mod := factory(ii)
@@ -137,13 +158,23 @@ func ComputeTable6(m *resmodel.Machine, loops []*ddg.Graph, reps []Representatio
 			if !r.OK {
 				panic(fmt.Sprintf("tables: %s: %s failed", rep.Label, g.Name))
 			}
+			s := &stats[i]
 			for _, c := range ctrs {
-				addCounters(&total, c)
+				addCounters(&s.ctrs, c)
 			}
-			decisions += r.Decisions
-			reversed += r.Reversed
-			resourceRev += r.ResourceEvictions
-			checksPerDec = append(checksPerDec, r.ChecksPerDecision...)
+			s.reversed = r.Reversed
+			s.resourceRev = r.ResourceEvictions
+			s.checksPerDec = r.ChecksPerDecision
+		})
+
+		total := query.Counters{}
+		reversed, resourceRev := 0, 0
+		var checksPerDec []int
+		for i := range stats {
+			addCounters(&total, &stats[i].ctrs)
+			reversed += stats[i].reversed
+			resourceRev += stats[i].resourceRev
+			checksPerDec = append(checksPerDec, stats[i].checksPerDec...)
 		}
 		if ri == 0 {
 			t.Rows = []FuncRow{{Name: "check"}, {Name: "assign&free"}, {Name: "free"}}

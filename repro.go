@@ -142,14 +142,28 @@ func BuiltinMachines() []string { return machines.Names() }
 
 // Reduce runs the paper's three-step reduction on the machine and verifies
 // that the result preserves the forbidden-latency matrix exactly.
+//
+// Reductions are memoized in a process-wide content-keyed cache: reducing
+// the same machine (by canonicalized content, not name) under the same
+// objective again returns the already-verified Result without recomputing
+// either the reduction or its verification.
 func Reduce(m *Machine, obj Objective) (*Reduction, error) {
+	return ReduceParallel(m, obj, 1)
+}
+
+// ReduceParallel is Reduce with the reduction pipeline's independent
+// inner work (forbidden-matrix rows, pair-compatibility scans) fanned
+// across a worker pool of the given size; workers < 1 selects GOMAXPROCS
+// and workers == 1 is the serial reference path. The Result is identical
+// at every worker count.
+func ReduceParallel(m *Machine, obj Objective, workers int) (*Reduction, error) {
 	if err := obj.Validate(); err != nil {
 		return nil, err
 	}
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	res := core.Reduce(m.Expand(), obj)
+	res := core.CachedReduceParallel(m.Expand(), obj, workers)
 	if err := res.Verify(); err != nil {
 		return nil, fmt.Errorf("repro: internal error: %w", err)
 	}
