@@ -1,12 +1,14 @@
 # Tier-1 checks and the parallel-layer benchmark report.
 #
 #   make            build + test
-#   make verify     build + vet + test + race (everything CI runs)
+#   make check      build + vet + test + race (tier-1, everything CI runs)
+#   make verify     alias for check
+#   make metrics    regenerate metrics.json and sanity-check its scopes
 #   make bench-json regenerate BENCH_parallel.json on this host
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json verify clean
+.PHONY: all build test race vet bench bench-json bench-alloc metrics check verify clean
 
 all: build test
 
@@ -27,13 +29,31 @@ vet:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# The query hot-path benchmarks that pin the observability bargain:
+# metrics disabled must stay at 0 allocs/op.
+bench-alloc:
+	$(GO) test -run '^$$' -bench 'BenchmarkCheck|BenchmarkAssign' -benchmem ./internal/query/
+
+# A machine-readable profile of a representative evaluation run (Table 6
+# exercises scheduling, reduction, the cache and the worker pool). The
+# emitted JSON is structurally validated by cmd/paper itself; the loop
+# below additionally checks that every expected scope contributed.
+metrics:
+	$(GO) run ./cmd/paper -table 6 -loops 120 -parallel 2 -metrics metrics.json > /dev/null
+	@for s in query sched core parallel; do \
+		grep -q "\"$$s\." metrics.json || { echo "metrics.json: missing scope $$s" >&2; exit 1; }; \
+	done
+	@echo "metrics.json OK"
+
 # Serial-vs-parallel wall time for the Table 5/6 harnesses, the reduction
 # pipeline, and the reduction cache. Speedups are host-dependent; the
 # report records GOMAXPROCS and NumCPU.
 bench-json:
 	$(GO) run ./cmd/paper -bench-json BENCH_parallel.json -loops 300
 
-verify: build vet test race
+check: build vet test race
+
+verify: check
 
 clean:
 	$(GO) clean ./...

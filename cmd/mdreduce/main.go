@@ -9,14 +9,22 @@
 //	mdreduce -file mymachine.mdl -objective 4-cycle-word
 //	mdreduce -machine mips -objective 2-cycle-word -stats-only
 //	mdreduce -machine cydra5 -parallel 8   # fan the pipeline across 8 workers
+//	mdreduce -machine mips -metrics -     # reduction profile as JSON on stdout
 //
 // Reductions go through the process-wide content-keyed cache: asking for
 // the same (machine content, objective) again — e.g. -exact after the
 // main reduction — reuses the verified result instead of re-running
 // reduce and Verify.
+//
+// -metrics FILE enables the observability layer and writes a validated
+// JSON snapshot of the reduction's counters and histograms
+// (generating-set sizes, branch-and-bound nodes, cache hits, worker-pool
+// shape) to FILE; "-" writes the snapshot to stdout after the normal
+// report.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +34,7 @@ import (
 	"repro"
 	"repro/internal/core"
 	"repro/internal/mdl"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -37,9 +46,19 @@ func main() {
 		statsOnly = flag.Bool("stats-only", false, "print statistics without the reduced description")
 		exact     = flag.Bool("exact", false, "also compute the optimal res-uses cover by branch and bound (small machines only)")
 		nParallel = flag.Int("parallel", 0, "worker-pool size for the reduction pipeline and -exact search (0 = GOMAXPROCS, 1 = serial)")
+		metrics   = flag.String("metrics", "", "enable the observability layer and write a JSON metrics snapshot to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
 	workers := parallel.Workers(*nParallel)
+	if *metrics != "" {
+		obs.Default().SetEnabled(true)
+		defer func() {
+			if err := writeMetrics(*metrics); err != nil {
+				fmt.Fprintln(os.Stderr, "mdreduce:", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	m, err := loadMachine(*file, *machine)
 	if err != nil {
@@ -88,6 +107,31 @@ func main() {
 		fmt.Println()
 		fmt.Print(mdl.Print(red.Reduced.Machine()))
 	}
+}
+
+// writeMetrics renders, validates and writes the default registry's
+// snapshot to path ("-" = stdout).
+func writeMetrics(path string) error {
+	var buf bytes.Buffer
+	if err := obs.Default().WriteJSON(&buf); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	data := buf.Bytes()
+	if err := obs.ValidateSnapshotJSON(data, "core"); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if path == "-" {
+		fmt.Println()
+		if _, err := os.Stdout.Write(data); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		return nil
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "mdreduce: metrics -> %s\n", path)
+	return nil
 }
 
 func loadMachine(file, builtin string) (*repro.Machine, error) {

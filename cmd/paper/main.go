@@ -12,12 +12,22 @@
 //	paper -loops 300      # subsample the 1327-loop benchmark (faster)
 //	paper -table 6 -parallel 8 # fan per-loop scheduling across 8 workers
 //	paper -bench-json BENCH_parallel.json  # serial-vs-parallel wall-time report
+//	paper -table 6 -metrics metrics.json   # emit a machine-readable profile
 //
 // -parallel fans the per-loop scheduling of Tables 5/6 and the kernel
 // report across a bounded worker pool (0 = GOMAXPROCS); output is
 // byte-identical at every worker count. Each machine is reduced at most
 // once per process regardless of how many tables request it (reduction
 // cache).
+//
+// -metrics FILE enables the observability layer for the whole run and
+// writes a JSON snapshot of every counter and histogram — per-operation
+// query counts and probe lengths, IMS budget/eviction statistics,
+// generating-set and branch-and-bound sizes, reduction-cache hits, and
+// worker-pool shape — alongside the paper tables ("-" writes to
+// stdout). The emitted JSON is validated before the command exits.
+// Metrics change no output and, disabled, cost the query hot path
+// nothing.
 package main
 
 import (
@@ -26,6 +36,7 @@ import (
 	"os"
 
 	"repro/internal/machines"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/tables"
 )
@@ -42,9 +53,19 @@ func main() {
 		loops     = flag.Int("loops", 0, "restrict the loop benchmark to the first N loops (0 = all 1327)")
 		nParallel = flag.Int("parallel", 0, "worker-pool size for per-loop scheduling (0 = GOMAXPROCS, 1 = serial)")
 		benchJSON = flag.String("bench-json", "", "measure serial-vs-parallel wall time and write the report to this file (e.g. BENCH_parallel.json)")
+		metrics   = flag.String("metrics", "", "enable the observability layer and write a JSON metrics snapshot to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
 	workers := parallel.Workers(*nParallel)
+	if *metrics != "" {
+		obs.Default().SetEnabled(true)
+		defer func() {
+			if err := writeMetrics(*metrics); err != nil {
+				fmt.Fprintln(os.Stderr, "paper:", err)
+				os.Exit(1)
+			}
+		}()
+	}
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON, workers, *loops); err != nil {
 			fmt.Fprintln(os.Stderr, "paper:", err)

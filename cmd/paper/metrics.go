@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// writeMetrics renders the default registry's snapshot as indented JSON,
+// validates the rendered bytes with obs.ValidateSnapshotJSON, and writes
+// them to path ("-" = stdout). A short summary — metric counts and the
+// top-level scopes present — goes to stderr so the tables on stdout stay
+// clean.
+func writeMetrics(path string) error {
+	var buf bytes.Buffer
+	if err := obs.Default().WriteJSON(&buf); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	data := buf.Bytes()
+	if err := obs.ValidateSnapshotJSON(data); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if path == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+	} else if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	s := obs.Default().Snapshot()
+	fmt.Fprintf(os.Stderr, "paper: metrics: %d counters, %d histograms (scopes: %s) -> %s\n",
+		len(s.Counters), len(s.Histograms), strings.Join(topScopes(s), ", "), path)
+	return nil
+}
+
+// topScopes lists the distinct top-level scope names in a snapshot.
+func topScopes(s obs.Snapshot) []string {
+	set := map[string]bool{}
+	add := func(name string) {
+		if i := strings.IndexByte(name, '.'); i > 0 {
+			set[name[:i]] = true
+		}
+	}
+	for _, c := range s.Counters {
+		add(c.Name)
+	}
+	for _, h := range s.Histograms {
+		add(h.Name)
+	}
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

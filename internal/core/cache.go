@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/resmodel"
 )
 
@@ -115,10 +116,14 @@ func (c *Cache) Reduce(e *resmodel.Expanded, obj Objective, workers int) *Result
 		hit = false
 		ent.res = ReduceParallel(e, obj, workers)
 	})
+	// The ad-hoc atomics back Stats(); the same outcome is promoted onto
+	// the default registry so -metrics profiles include cache behaviour.
 	if hit {
 		c.hits.Add(1)
+		obs.Inc("core.cache.hits")
 	} else {
 		c.misses.Add(1)
+		obs.Inc("core.cache.misses")
 	}
 	return ent.res
 }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/forbidden"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -20,6 +21,9 @@ type ExactCoverResult struct {
 	Optimal bool
 	// Nodes is the number of search nodes explored.
 	Nodes int
+	// BoundImprovements counts complete covers that improved on the
+	// shared best bound (1 = the greedy seed was never beaten).
+	BoundImprovements int
 }
 
 // ExactCover computes a minimum-resource-usage cover of the forbidden
@@ -116,6 +120,16 @@ func ExactCoverWorkers(m *forbidden.Matrix, G []*Resource, maxNodes, workers int
 	best := sh.best
 	best.Optimal = completed
 	best.Nodes = int(sh.nodes.Load())
+	best.BoundImprovements = int(sh.improvements.Load())
+	if obs.Enabled() {
+		s := obs.Default().Scope("core").Scope("exact")
+		s.Counter("searches").Inc()
+		s.Counter("nodes").Add(int64(best.Nodes))
+		s.Counter("bound_improvements").Add(int64(best.BoundImprovements))
+		if !best.Optimal {
+			s.Counter("truncated").Inc()
+		}
+	}
 	return best
 }
 
@@ -149,11 +163,12 @@ func totalUsages(sel []Selected) int {
 // lock-free pruning bound read on every search node; best itself is
 // updated under the mutex.
 type exactShared struct {
-	nodes      atomic.Int64
-	maxNodes   int64
-	bestUsages atomic.Int64
-	mu         sync.Mutex
-	best       ExactCoverResult
+	nodes        atomic.Int64
+	maxNodes     int64
+	bestUsages   atomic.Int64
+	improvements atomic.Int64
+	mu           sync.Mutex
+	best         ExactCoverResult
 }
 
 // record installs a complete cover if it still improves on the best.
@@ -164,6 +179,7 @@ func (sh *exactShared) record(usages int, snapshot func() []Selected) {
 		return // another worker got there first
 	}
 	sh.bestUsages.Store(int64(usages))
+	sh.improvements.Add(1)
 	sh.best.Usages = usages
 	sh.best.Selected = snapshot()
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/forbidden"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/resmodel"
 )
@@ -93,6 +94,13 @@ func reduce(e *resmodel.Expanded, obj Objective, traced bool, workers int) *Resu
 	pruned := Prune(r.ClassMatrix, gen)
 	r.PrunedSize = len(pruned)
 	r.Selected = SelectCover(r.ClassMatrix, pruned, obj)
+	if obs.Enabled() {
+		s := obs.Default().Scope("core")
+		s.Counter("reductions").Inc()
+		s.Histogram("genset_size").Observe(int64(r.GenSetSize))
+		s.Histogram("genset_pruned").Observe(int64(r.PrunedSize))
+		s.Histogram("selected_resources").Observe(int64(len(r.Selected)))
+	}
 
 	// Build the reduced reservation tables, one per class.
 	numClasses := r.Classes.NumClasses()

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.calls")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.calls") != c {
+		t.Error("re-registration returned a different counter")
+	}
+
+	h := r.Histogram("a.probe")
+	for _, v := range []int64{0, 1, 1, 3, 9, 1 << 40, -7} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Errorf("hist count = %d, want 7", h.Count())
+	}
+	if want := int64(0 + 1 + 1 + 3 + 9 + 1<<40 + 0); h.Sum() != want {
+		t.Errorf("hist sum = %d, want %d", h.Sum(), want)
+	}
+
+	s := r.Snapshot()
+	if s.Counter("a.calls") != 5 {
+		t.Errorf("snapshot counter = %d", s.Counter("a.calls"))
+	}
+	hs := s.Histogram("a.probe")
+	if hs == nil || hs.Count != 7 || hs.Max != 1<<40 {
+		t.Fatalf("snapshot histogram = %+v", hs)
+	}
+	var n int64
+	overflow := false
+	for _, b := range hs.Buckets {
+		n += b.Count
+		if b.Le == -1 {
+			overflow = true
+		}
+	}
+	if n != 7 || !overflow {
+		t.Errorf("buckets sum %d (overflow seen: %v), want 7 with overflow", n, overflow)
+	}
+}
+
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var c *Counter
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	h.Observe(42)
+	if c.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil metrics reported non-zero values")
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(17)
+	}); allocs != 0 {
+		t.Errorf("nil no-op path allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func TestScopesNest(t *testing.T) {
+	r := NewRegistry()
+	s := r.Scope("query").Scope("discrete")
+	s.Counter("check.calls").Add(2)
+	s.Histogram("check.probe").Observe(3)
+	snap := r.Snapshot()
+	if snap.Counter("query.discrete.check.calls") != 2 {
+		t.Errorf("scoped counter missing: %+v", snap.Counters)
+	}
+	if snap.Histogram("query.discrete.check.probe") == nil {
+		t.Errorf("scoped histogram missing: %+v", snap.Histograms)
+	}
+	f := snap.Filter("query")
+	if len(f.Counters) != 1 || len(f.Histograms) != 1 {
+		t.Errorf("Filter(query) = %+v", f)
+	}
+	if f := snap.Filter("sched"); len(f.Counters) != 0 || len(f.Histograms) != 0 {
+		t.Errorf("Filter(sched) should be empty, got %+v", f)
+	}
+}
+
+func TestResetZeroesButKeepsHandles(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	h := r.Histogram("y")
+	c.Add(9)
+	h.Observe(9)
+	r.Reset()
+	if c.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("Reset left non-zero values")
+	}
+	c.Inc() // handle must still feed the registry
+	if r.Snapshot().Counter("x") != 1 {
+		t.Error("handle detached from registry after Reset")
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	h := r.Histogram("v")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(int64(i % 17))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Errorf("concurrent totals: counter %d, hist %d, want 8000", c.Value(), h.Count())
+	}
+}
+
+func TestSnapshotJSONRoundTripAndValidate(t *testing.T) {
+	r := NewRegistry()
+	r.Scope("query").Counter("check.calls").Add(3)
+	r.Scope("sched").Histogram("decisions_per_loop").Observe(12)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("exported JSON does not parse: %v", err)
+	}
+	if err := ValidateSnapshotJSON(buf.Bytes(), "query", "sched"); err != nil {
+		t.Errorf("valid snapshot rejected: %v", err)
+	}
+	if err := ValidateSnapshotJSON(buf.Bytes(), "core"); err == nil {
+		t.Error("missing scope not detected")
+	}
+	if err := ValidateSnapshotJSON([]byte("{"), "query"); err == nil {
+		t.Error("malformed JSON not detected")
+	}
+}
+
+func TestPackageHelpersGateOnEnabled(t *testing.T) {
+	r := Default()
+	r.SetEnabled(false)
+	defer func() {
+		r.SetEnabled(false)
+		r.Reset()
+	}()
+	Inc("t.helper.calls")
+	Add("t.helper.calls", 5)
+	Observe("t.helper.probe", 3)
+	if r.Snapshot().Counter("t.helper.calls") != 0 {
+		t.Error("disabled helpers still recorded")
+	}
+	r.SetEnabled(true)
+	Inc("t.helper.calls")
+	Add("t.helper.calls", 5)
+	Observe("t.helper.probe", 3)
+	s := r.Snapshot()
+	if s.Counter("t.helper.calls") != 6 {
+		t.Errorf("enabled helpers recorded %d, want 6", s.Counter("t.helper.calls"))
+	}
+	if h := s.Histogram("t.helper.probe"); h == nil || h.Count != 1 {
+		t.Errorf("enabled Observe recorded %+v", h)
+	}
+}

@@ -1,9 +1,13 @@
 package parallel
 
 import (
+	"errors"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestWorkers(t *testing.T) {
@@ -49,20 +53,101 @@ func TestForEachSerialOrder(t *testing.T) {
 	}
 }
 
+// panicAtSeven is the panic site the stack assertions below look for:
+// the captured worker stack must name the function that actually
+// panicked, not just the pool goroutine.
+func panicAtSeven(i int) {
+	if i == 7 {
+		panic("boom")
+	}
+}
+
 func TestForEachPanicPropagates(t *testing.T) {
-	for _, workers := range []int{1, 4} {
-		func() {
-			defer func() {
-				if p := recover(); p != "boom" {
-					t.Errorf("workers=%d: recovered %v, want boom", workers, p)
-				}
-			}()
-			ForEach(16, workers, func(i int) {
-				if i == 7 {
-					panic("boom")
-				}
-			})
+	// Serial path: no goroutine, the panic propagates natively with the
+	// original value and the caller's own stack.
+	func() {
+		defer func() {
+			if p := recover(); p != "boom" {
+				t.Errorf("workers=1: recovered %v, want boom", p)
+			}
 		}()
+		ForEach(16, 1, panicAtSeven)
+	}()
+
+	// Pooled path: the panic is re-raised as a *WorkerPanic carrying the
+	// original value and the panicking worker's stack, so the original
+	// site stays debuggable after wg.Wait().
+	func() {
+		defer func() {
+			p := recover()
+			wp, ok := p.(*WorkerPanic)
+			if !ok {
+				t.Fatalf("workers=4: recovered %T (%v), want *WorkerPanic", p, p)
+			}
+			if wp.Value != "boom" {
+				t.Errorf("workers=4: original value %v, want boom", wp.Value)
+			}
+			if !strings.Contains(wp.Stack, "panicAtSeven") {
+				t.Errorf("workers=4: worker stack does not name the panic site:\n%s", wp.Stack)
+			}
+			if !strings.Contains(wp.Error(), "boom") || !strings.Contains(wp.Error(), "panicAtSeven") {
+				t.Errorf("workers=4: Error() omits value or site:\n%s", wp.Error())
+			}
+		}()
+		ForEach(16, 4, panicAtSeven)
+	}()
+}
+
+// TestWorkerPanicUnwrap: a worker panicking with an error exposes it via
+// Unwrap, so errors.Is/As keep working through the wrapper.
+func TestWorkerPanicUnwrap(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	defer func() {
+		wp, ok := recover().(*WorkerPanic)
+		if !ok || !errors.Is(wp, sentinel) {
+			t.Errorf("recovered %v, want WorkerPanic wrapping sentinel", wp)
+		}
+	}()
+	ForEach(8, 2, func(i int) {
+		if i == 3 {
+			panic(sentinel)
+		}
+	})
+}
+
+// TestForEachPoolMetrics: with the default registry enabled, each pooled
+// run records its task distribution under the "parallel" scope; the
+// serial path and the disabled state record nothing.
+func TestForEachPoolMetrics(t *testing.T) {
+	r := obs.Default()
+	r.Reset()
+	r.SetEnabled(true)
+	defer func() {
+		r.SetEnabled(false)
+		r.Reset()
+	}()
+
+	ForEach(100, 4, func(int) {})
+	s := r.Snapshot()
+	if got := s.Counter("parallel.pools"); got != 1 {
+		t.Errorf("parallel.pools = %d, want 1", got)
+	}
+	if got := s.Counter("parallel.tasks"); got != 100 {
+		t.Errorf("parallel.tasks = %d, want 100", got)
+	}
+	h := s.Histogram("parallel.tasks_per_worker")
+	if h == nil || h.Count != 4 || h.Sum != 100 {
+		t.Errorf("parallel.tasks_per_worker = %+v, want 4 workers summing to 100", h)
+	}
+	if s.Histogram("parallel.imbalance") == nil {
+		t.Error("parallel.imbalance not recorded")
+	}
+
+	// The serial path records no pool shape (there is no pool).
+	r.Reset()
+	ForEach(50, 1, func(int) {})
+	if got := r.Snapshot().Counter("parallel.pools"); got != 0 {
+		t.Errorf("serial ForEach recorded %d pools, want 0", got)
 	}
 }
 

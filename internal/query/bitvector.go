@@ -59,6 +59,7 @@ type Bitvector struct {
 	// calls so steady-state eviction allocates nothing.
 	evictScratch []int
 	ctr          Counters
+	met          *moduleObs // nil while metrics are disabled
 }
 
 // NewBitvector creates a bitvector-representation module. k is the number
@@ -88,6 +89,7 @@ func NewBitvector(e *resmodel.Expanded, k, wordBits, ii int) (*Bitvector, error)
 		e: e, c: compile(e, ii), ii: ii, nRes: nRes, k: k, wordBits: wordBits,
 		cycMask: uint64(1)<<uint(nRes) - 1,
 		inst:    map[int]instance{},
+		met:     newModuleObs("bitvector"),
 	}
 	if ii > 0 {
 		b.packed0 = make([][]packedWord, len(e.Ops))
@@ -244,11 +246,15 @@ func (b *Bitvector) wordStart(jm int, w packedWord) int {
 // word, aborting at the first conflict.
 func (b *Bitvector) Check(op, cycle int) bool {
 	b.ctr.CheckCalls++
+	w0 := b.ctr.CheckWork
+	ok := false
 	if b.c.selfConf[op] {
 		b.ctr.CheckWork++
-		return false
+	} else {
+		ok = b.check(op, cycle)
 	}
-	return b.check(op, cycle)
+	b.met.onCheck(b.ctr.CheckWork - w0)
+	return ok
 }
 
 func (b *Bitvector) check(op, cycle int) bool {
@@ -280,11 +286,13 @@ func (b *Bitvector) check(op, cycle int) bool {
 func (b *Bitvector) Assign(op, cycle, id int) {
 	b.ctr.AssignCalls++
 	b.mustSchedulable(op)
+	w0 := b.ctr.AssignWork
 	b.orTable(op, cycle, &b.ctr.AssignWork)
 	b.inst[id] = instance{op, cycle}
 	if b.updateMode {
 		b.setOwners(op, cycle, int32(id))
 	}
+	b.met.onAssign(b.ctr.AssignWork - w0)
 }
 
 func (b *Bitvector) orTable(op, cycle int, work *int64) {
@@ -327,21 +335,26 @@ func (b *Bitvector) andNotTable(op, cycle int, work *int64) {
 // Free implements Module: one AND-NOT per non-empty reservation word.
 func (b *Bitvector) Free(op, cycle, id int) {
 	b.ctr.FreeCalls++
+	w0 := b.ctr.FreeWork
 	b.andNotTable(op, cycle, &b.ctr.FreeWork)
 	delete(b.inst, id)
+	b.met.onFree(b.ctr.FreeWork - w0)
 }
 
 // AssignFree implements Module.
 func (b *Bitvector) AssignFree(op, cycle, id int) []int {
 	b.ctr.AssignFreeCalls++
 	b.mustSchedulable(op)
+	w0 := b.ctr.AssignFreeWork
 	if !b.updateMode {
 		if b.optimisticAssign(op, cycle) {
 			b.inst[id] = instance{op, cycle}
+			b.met.onAssignFree(b.ctr.AssignFreeWork-w0, 0)
 			return nil
 		}
 		// Conflict: transition from optimistic to update mode.
 		b.ctr.ModeTransitions++
+		b.met.onModeTransition()
 		b.enterUpdateMode()
 	}
 	evicted := b.updateAssignFree(op, cycle, id)
@@ -350,6 +363,7 @@ func (b *Bitvector) AssignFree(op, cycle, id int) []int {
 	if len(evicted) > 0 {
 		b.ctr.AssignFreeEvicting++
 	}
+	b.met.onAssignFree(b.ctr.AssignFreeWork-w0, len(evicted))
 	return evicted
 }
 
@@ -536,6 +550,7 @@ func (b *Bitvector) clearBit(r, cycle int) {
 // are checked individually.
 func (b *Bitvector) CheckWithAlt(origOp, cycle int) (int, bool) {
 	b.ctr.CheckWithAltCalls++
+	b.met.onCheckWithAlt()
 	if b.altUnion != nil || b.altUnion0 != nil {
 		if op, free, decided := b.fastCheckWithAlt(origOp, cycle); decided {
 			return op, free

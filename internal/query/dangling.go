@@ -59,6 +59,11 @@ func (d *Discrete) SeedDangling(ds []Dangling) error {
 }
 
 // SeedDangling implements DanglingSeeder for the bitvector representation.
+// The bitvector flags carry no owner fields, so seeding tracks cell
+// ownership on the side: like Discrete.SeedDangling, a (resource, cycle)
+// cell reserved twice by the SAME instance — a reservation table that
+// uses one cell twice, or the same id listed twice — is not a collision;
+// only two distinct instances contending for a cell is.
 func (b *Bitvector) SeedDangling(ds []Dangling) error {
 	if b.ii > 0 {
 		return fmt.Errorf("query: dangling requirements apply to linear schedules, not Modulo Reservation Tables")
@@ -66,6 +71,7 @@ func (b *Bitvector) SeedDangling(ds []Dangling) error {
 	if len(b.inst) > 0 {
 		return fmt.Errorf("query: SeedDangling on a non-empty schedule")
 	}
+	owner := make(map[[2]int]int) // (resource, cycle) -> seeding instance id
 	for _, dg := range ds {
 		if dg.IssueCycle >= 0 {
 			return fmt.Errorf("query: dangling op %d has non-negative issue cycle %d", dg.Op, dg.IssueCycle)
@@ -76,10 +82,14 @@ func (b *Bitvector) SeedDangling(ds []Dangling) error {
 				continue
 			}
 			if b.reservedBit(u.Resource, t) {
-				return fmt.Errorf("query: dangling requirements collide on %s at cycle %d",
-					b.e.Resources[u.Resource], t)
+				if prev := owner[[2]int{u.Resource, t}]; prev != dg.ID {
+					return fmt.Errorf("query: dangling requirements of instances %d and %d collide on %s at cycle %d",
+						prev, dg.ID, b.e.Resources[u.Resource], t)
+				}
+				continue
 			}
 			b.setBit(u.Resource, t)
+			owner[[2]int{u.Resource, t}] = dg.ID
 		}
 		b.inst[dg.ID] = instance{dg.Op, dg.IssueCycle}
 	}
@@ -116,6 +126,33 @@ func (d *Discrete) SeedDanglingUnion(ds []Dangling) error {
 			}
 		}
 		d.inst[dg.ID] = instance{dg.Op, dg.IssueCycle}
+	}
+	return nil
+}
+
+// SeedDanglingUnion implements the multi-predecessor boundary condition
+// for the bitvector representation: overlapping requirements from
+// different predecessors OR into the same flags without error, exactly
+// mirroring Discrete.SeedDanglingUnion.
+func (b *Bitvector) SeedDanglingUnion(ds []Dangling) error {
+	if b.ii > 0 {
+		return fmt.Errorf("query: dangling requirements apply to linear schedules, not Modulo Reservation Tables")
+	}
+	if len(b.inst) > 0 {
+		return fmt.Errorf("query: SeedDanglingUnion on a non-empty schedule")
+	}
+	for _, dg := range ds {
+		if dg.IssueCycle >= 0 {
+			return fmt.Errorf("query: dangling op %d has non-negative issue cycle %d", dg.Op, dg.IssueCycle)
+		}
+		for _, u := range b.c.uses[dg.Op] {
+			t := dg.IssueCycle + u.Cycle
+			if t < 0 {
+				continue
+			}
+			b.setBit(u.Resource, t)
+		}
+		b.inst[dg.ID] = instance{dg.Op, dg.IssueCycle}
 	}
 	return nil
 }

@@ -84,6 +84,135 @@ func TestDanglingFromExtraction(t *testing.T) {
 	}
 }
 
+// doubleUseMachine builds an expanded description whose only operation
+// reserves the SAME (resource, cycle) cell twice — a degenerate but
+// legal reservation table (e.g. produced by a generator that does not
+// normalize). Constructed directly so no Normalize pass dedups it.
+func doubleUseMachine() *resmodel.Expanded {
+	return &resmodel.Expanded{
+		Name:      "double-use",
+		Resources: []string{"r0", "r1"},
+		Ops: []resmodel.ExpandedOp{{
+			Name:    "D",
+			Latency: 1,
+			Table: resmodel.Table{Uses: []resmodel.Usage{
+				{Resource: 0, Cycle: 0},
+				{Resource: 1, Cycle: 1},
+				{Resource: 1, Cycle: 1}, // double use of the same cell
+			}},
+		}},
+		AltGroup: [][]int{{0}},
+	}
+}
+
+// TestSeedDanglingDoubleUse is the regression test for the bitvector
+// false positive: one dangling op whose reservation table uses the same
+// (resource, cycle) cell twice must seed cleanly on BOTH representations
+// — Discrete tolerates same-ID overlap, and the bitvector path must
+// agree instead of reporting a self-collision.
+func TestSeedDanglingDoubleUse(t *testing.T) {
+	e := doubleUseMachine()
+	// IssueCycle -1: r0@0 lands at -1 (consumed in the predecessor), the
+	// doubled r1@1 lands at cycle 0 twice.
+	ds := []Dangling{{Op: 0, IssueCycle: -1, ID: 7}}
+
+	d := NewDiscrete(e, 0)
+	if err := d.SeedDangling(ds); err != nil {
+		t.Fatalf("Discrete.SeedDangling on a double-use table: %v", err)
+	}
+	bv, err := NewBitvector(e, 4, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bv.SeedDangling(ds); err != nil {
+		t.Errorf("Bitvector.SeedDangling on a double-use table: %v", err)
+	}
+	// Both representations must answer identically after seeding.
+	for cyc := 0; cyc < 6; cyc++ {
+		if got, want := bv.Check(0, cyc), d.Check(0, cyc); got != want {
+			t.Errorf("Check(D, %d): bitvector %v, discrete %v", cyc, got, want)
+		}
+	}
+
+	// Genuine collisions (two distinct instances on one cell) must still
+	// error on both representations.
+	collide := []Dangling{
+		{Op: 0, IssueCycle: -1, ID: 1},
+		{Op: 0, IssueCycle: -1, ID: 2},
+	}
+	if err := NewDiscrete(e, 0).SeedDangling(collide); err == nil {
+		t.Error("Discrete accepted a genuine two-instance collision")
+	}
+	bv2, _ := NewBitvector(e, 4, 64, 0)
+	if err := bv2.SeedDangling(collide); err == nil {
+		t.Error("Bitvector accepted a genuine two-instance collision")
+	}
+}
+
+// TestSeedDanglingUnionParity drives randomized dangling sets — with
+// deliberate overlaps, since different predecessors may dangle the same
+// requirement — through Discrete.SeedDanglingUnion and
+// Bitvector.SeedDanglingUnion and checks that every contention query
+// answers identically afterwards (DESIGN §1's multi-predecessor boundary
+// condition must not depend on the representation).
+func TestSeedDanglingUnionParity(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e := resmodel.Random(rng, resmodel.DefaultRandomConfig()).Expand()
+		k := MaxCyclesPerWord(len(e.Resources), 64)
+		if k < 1 {
+			continue
+		}
+
+		// Random dangling set: a few ops issued shortly before the entry,
+		// drawn with replacement so overlapping requirements are common.
+		var ds []Dangling
+		for i := 0; i < 2+rng.Intn(5); i++ {
+			op := rng.Intn(len(e.Ops))
+			span := e.Ops[op].Table.Span()
+			if span < 2 {
+				continue
+			}
+			ds = append(ds, Dangling{Op: op, IssueCycle: -1 - rng.Intn(span-1), ID: 100 + i})
+		}
+		if len(ds) == 0 {
+			continue
+		}
+
+		d := NewDiscrete(e, 0)
+		if err := d.SeedDanglingUnion(ds); err != nil {
+			t.Fatalf("seed %d: Discrete.SeedDanglingUnion: %v", seed, err)
+		}
+		bv, err := NewBitvector(e, k, 64, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := bv.SeedDanglingUnion(ds); err != nil {
+			t.Fatalf("seed %d: Bitvector.SeedDanglingUnion: %v", seed, err)
+		}
+		for op := range e.Ops {
+			for cyc := 0; cyc < 12; cyc++ {
+				if got, want := bv.Check(op, cyc), d.Check(op, cyc); got != want {
+					t.Fatalf("seed %d: Check(op %d, cycle %d): bitvector %v, discrete %v",
+						seed, op, cyc, got, want)
+				}
+			}
+		}
+
+		// SeedDangling (the colliding variant) must agree on whether the
+		// same set is an error.
+		dErr := NewDiscrete(e, 0).SeedDangling(ds)
+		bv2, err := NewBitvector(e, k, 64, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bErr := bv2.SeedDangling(ds)
+		if (dErr == nil) != (bErr == nil) {
+			t.Fatalf("seed %d: SeedDangling disagreement: discrete %v, bitvector %v", seed, dErr, bErr)
+		}
+	}
+}
+
 // Property: scheduling a block with dangling requirements is exactly
 // equivalent to scheduling the concatenated trace on one long table —
 // the paper's claim that boundary conditions are handled precisely.

@@ -19,6 +19,7 @@ type Discrete struct {
 	width int
 	inst  map[int]instance
 	ctr   Counters
+	met   *moduleObs // nil while metrics are disabled
 }
 
 // NewDiscrete creates a discrete-representation module for the machine.
@@ -28,7 +29,8 @@ func NewDiscrete(e *resmodel.Expanded, ii int) *Discrete {
 	if ii < 0 {
 		panic(fmt.Sprintf("query: NewDiscrete: negative II %d", ii))
 	}
-	d := &Discrete{e: e, c: compile(e, ii), ii: ii, nRes: len(e.Resources), inst: map[int]instance{}}
+	d := &Discrete{e: e, c: compile(e, ii), ii: ii, nRes: len(e.Resources), inst: map[int]instance{},
+		met: newModuleObs("discrete")}
 	if ii > 0 {
 		d.width = ii
 	} else {
@@ -91,6 +93,13 @@ func (d *Discrete) Schedulable(op int) bool { return !d.c.selfConf[op] }
 // of usages tested is the work performed.
 func (d *Discrete) Check(op, cycle int) bool {
 	d.ctr.CheckCalls++
+	w0 := d.ctr.CheckWork
+	ok := d.check(op, cycle)
+	d.met.onCheck(d.ctr.CheckWork - w0)
+	return ok
+}
+
+func (d *Discrete) check(op, cycle int) bool {
 	if d.c.selfConf[op] {
 		d.ctr.CheckWork++
 		return false
@@ -108,11 +117,13 @@ func (d *Discrete) Check(op, cycle int) bool {
 func (d *Discrete) Assign(op, cycle, id int) {
 	d.ctr.AssignCalls++
 	d.mustSchedulable(op)
+	w0 := d.ctr.AssignWork
 	for _, u := range d.uses(op) {
 		d.ctr.AssignWork++
 		*d.cell(u.Resource, cycle+u.Cycle) = int32(id)
 	}
 	d.inst[id] = instance{op, cycle}
+	d.met.onAssign(d.ctr.AssignWork - w0)
 }
 
 // AssignFree implements Module: conflicting instances are unscheduled and
@@ -121,6 +132,7 @@ func (d *Discrete) Assign(op, cycle, id int) {
 func (d *Discrete) AssignFree(op, cycle, id int) []int {
 	d.ctr.AssignFreeCalls++
 	d.mustSchedulable(op)
+	w0 := d.ctr.AssignFreeWork
 	var evicted []int
 	for _, u := range d.uses(op) {
 		d.ctr.AssignFreeWork++
@@ -136,6 +148,7 @@ func (d *Discrete) AssignFree(op, cycle, id int) []int {
 	if len(evicted) > 0 {
 		d.ctr.AssignFreeEvicting++
 	}
+	d.met.onAssignFree(d.ctr.AssignFreeWork-w0, len(evicted))
 	return evicted
 }
 
@@ -166,6 +179,7 @@ func (d *Discrete) evict(id int) {
 // Free implements Module.
 func (d *Discrete) Free(op, cycle, id int) {
 	d.ctr.FreeCalls++
+	w0 := d.ctr.FreeWork
 	for _, u := range d.uses(op) {
 		d.ctr.FreeWork++
 		c := d.cell(u.Resource, cycle+u.Cycle)
@@ -174,11 +188,13 @@ func (d *Discrete) Free(op, cycle, id int) {
 		}
 	}
 	delete(d.inst, id)
+	d.met.onFree(d.ctr.FreeWork - w0)
 }
 
 // CheckWithAlt implements Module.
 func (d *Discrete) CheckWithAlt(origOp, cycle int) (int, bool) {
 	d.ctr.CheckWithAltCalls++
+	d.met.onCheckWithAlt()
 	return checkWithAlt(d, d.e, origOp, cycle)
 }
 

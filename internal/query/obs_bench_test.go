@@ -1,0 +1,194 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/machines"
+	"repro/internal/obs"
+)
+
+// fillDiscrete is fillBitvector's owner-cell twin: a Cydra-5 Discrete MRT
+// at the given ii, filled deterministically to steady state.
+func fillDiscrete(tb testing.TB, ii int) *Discrete {
+	tb.Helper()
+	e := machines.Cydra5().Expand()
+	d := NewDiscrete(e, ii)
+	id := 0
+	for cyc := 0; cyc < 3*ii; cyc++ {
+		op := (cyc * 13) % len(e.Ops)
+		if d.Schedulable(op) && d.Check(op, cyc) {
+			d.Assign(op, cyc, id)
+			id++
+		}
+	}
+	return d
+}
+
+// withMetrics runs fn with the default registry enabled, then disables
+// and resets it. Module construction must happen inside fn so the
+// instrumentation handles are captured while metrics are on.
+func withMetrics(b *testing.B, fn func()) {
+	b.Helper()
+	obs.Default().SetEnabled(true)
+	defer func() {
+		obs.Default().SetEnabled(false)
+		obs.Default().Reset()
+	}()
+	fn()
+}
+
+// The BenchmarkCheck*/BenchmarkAssign* pairs below pin the observability
+// bargain: with metrics disabled (the default; modules hold nil metric
+// handles) the hot path must report 0 allocs/op and stay within noise of
+// the uninstrumented baseline; the *Metrics variants price the enabled
+// path, which is allowed to pay for its atomics but not to allocate
+// either.
+
+func BenchmarkCheckDiscrete(b *testing.B) {
+	d := fillDiscrete(b, 24)
+	ops := len(d.e.Ops)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Check(i%ops, i%24)
+	}
+}
+
+func BenchmarkCheckDiscreteMetrics(b *testing.B) {
+	withMetrics(b, func() {
+		d := fillDiscrete(b, 24)
+		ops := len(d.e.Ops)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.Check(i%ops, i%24)
+		}
+		b.StopTimer()
+	})
+}
+
+func BenchmarkCheckBitvector(b *testing.B) {
+	mod := fillBitvector(b, 24)
+	ops := len(mod.e.Ops)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mod.Check(i%ops, i%24)
+	}
+}
+
+func BenchmarkCheckBitvectorMetrics(b *testing.B) {
+	withMetrics(b, func() {
+		mod := fillBitvector(b, 24)
+		ops := len(mod.e.Ops)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mod.Check(i%ops, i%24)
+		}
+		b.StopTimer()
+	})
+}
+
+// freeSlot finds an (op, cycle) that checks free on the filled module.
+func freeSlot(b *testing.B, m Module, ops, span int) (int, int) {
+	b.Helper()
+	for c := 0; c < span; c++ {
+		for o := 0; o < ops; o++ {
+			if m.Schedulable(o) && m.Check(o, c) {
+				return o, c
+			}
+		}
+	}
+	b.Skip("no free slot on the filled MRT")
+	return -1, -1
+}
+
+func BenchmarkAssignFreeDiscrete(b *testing.B) {
+	d := fillDiscrete(b, 24)
+	op, cyc := freeSlot(b, d, len(d.e.Ops), 24)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.AssignFree(op, cyc, 1<<20)
+		d.Free(op, cyc, 1<<20)
+	}
+}
+
+func BenchmarkAssignFreeDiscreteMetrics(b *testing.B) {
+	withMetrics(b, func() {
+		d := fillDiscrete(b, 24)
+		op, cyc := freeSlot(b, d, len(d.e.Ops), 24)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.AssignFree(op, cyc, 1<<20)
+			d.Free(op, cyc, 1<<20)
+		}
+		b.StopTimer()
+	})
+}
+
+func BenchmarkAssignFreeBitvectorMetrics(b *testing.B) {
+	withMetrics(b, func() {
+		mod := fillBitvector(b, 24)
+		op, cyc := freeSlot(b, mod, len(mod.e.Ops), 24)
+		mod.Counters().Reset()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mod.AssignFree(op, cyc, 1<<20)
+			mod.Free(op, cyc, 1<<20)
+		}
+		b.StopTimer()
+	})
+}
+
+// TestDisabledMetricsHotPathZeroAlloc pins that the nil-handle
+// instrumentation added to Check/Assign/Free keeps the disabled hot path
+// allocation-free on both representations.
+func TestDisabledMetricsHotPathZeroAlloc(t *testing.T) {
+	if obs.Enabled() {
+		t.Fatal("default registry unexpectedly enabled")
+	}
+	d := fillDiscrete(t, 24)
+	ops := len(d.e.Ops)
+	i := 0
+	if allocs := testing.AllocsPerRun(2000, func() {
+		d.Check(i%ops, i%24)
+		i++
+	}); allocs != 0 {
+		t.Errorf("Discrete.Check allocates %.1f per call with metrics disabled, want 0", allocs)
+	}
+	if d.met != nil {
+		t.Error("Discrete built with metrics disabled holds a live metrics handle")
+	}
+	bv := fillBitvector(t, 24)
+	if bv.met != nil {
+		t.Error("Bitvector built with metrics disabled holds a live metrics handle")
+	}
+}
+
+// TestEnabledMetricsCountCalls pins that an enabled module actually
+// records per-operation call counts and probe work.
+func TestEnabledMetricsCountCalls(t *testing.T) {
+	obs.Default().SetEnabled(true)
+	defer func() {
+		obs.Default().SetEnabled(false)
+		obs.Default().Reset()
+	}()
+	obs.Default().Reset()
+	d := fillDiscrete(t, 24)
+	ops := len(d.e.Ops)
+	for i := 0; i < 100; i++ {
+		d.Check(i%ops, i%24)
+	}
+	s := obs.Default().Snapshot()
+	if got := s.Counter("query.discrete.check.calls"); got < 100 {
+		t.Errorf("query.discrete.check.calls = %d, want >= 100", got)
+	}
+	h := s.Histogram("query.discrete.check.probe")
+	if h == nil || h.Count < 100 {
+		t.Errorf("query.discrete.check.probe missing or undercounted: %+v", h)
+	}
+}

@@ -83,6 +83,12 @@ type Result struct {
 // alternative groups mirror m's operations (the original expansion or any
 // reduction of it).
 func Schedule(g *ddg.Graph, m *resmodel.Machine, factory ModuleFactory, cfg Config) Result {
+	res := schedule(g, m, factory, cfg)
+	observeSchedule(&res)
+	return res
+}
+
+func schedule(g *ddg.Graph, m *resmodel.Machine, factory ModuleFactory, cfg Config) Result {
 	if cfg.BudgetRatio <= 0 {
 		cfg.BudgetRatio = 6
 	}

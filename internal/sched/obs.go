@@ -1,0 +1,36 @@
+package sched
+
+import (
+	"repro/internal/obs"
+)
+
+// observeSchedule publishes one Schedule call's Iterative Modulo
+// Scheduling statistics to the "sched" scope of the default registry:
+// the budget actually spent (scheduling decisions across all II
+// attempts), evictions split by cause, and backtracking per loop. It is
+// a no-op while metrics are disabled; Schedule is called once per loop,
+// so the registry lookups here are far off the query hot path.
+func observeSchedule(r *Result) {
+	if !obs.Enabled() {
+		return
+	}
+	s := obs.Default().Scope("sched")
+	s.Counter("loops").Inc()
+	if !r.OK {
+		s.Counter("failed").Inc()
+	}
+	s.Counter("attempts").Add(int64(r.Attempts))
+	s.Counter("decisions").Add(int64(r.Decisions))
+	s.Counter("reversed").Add(int64(r.Reversed))
+	s.Counter("resource_evictions").Add(int64(r.ResourceEvictions))
+	s.Counter("dep_evictions").Add(int64(r.DepEvictions))
+	s.Counter("budget_exceeded").Add(int64(r.BudgetExceeded))
+
+	s.Histogram("budget_spent_per_loop").Observe(int64(r.Decisions))
+	s.Histogram("reversals_per_loop").Observe(int64(r.Reversed))
+	s.Histogram("attempts_per_loop").Observe(int64(r.Attempts))
+	checks := s.Histogram("checks_per_decision")
+	for _, c := range r.ChecksPerDecision {
+		checks.Observe(int64(c))
+	}
+}
