@@ -1,14 +1,18 @@
 # Tier-1 checks and the parallel-layer benchmark report.
 #
-#   make            build + test
-#   make check      build + vet + test + race (tier-1, everything CI runs)
-#   make verify     alias for check
-#   make metrics    regenerate metrics.json and sanity-check its scopes
-#   make bench-json regenerate BENCH_parallel.json on this host
+#   make             build + test
+#   make check       build + vet + test + race + fuzz-smoke + serve-smoke
+#                    (tier-1, everything CI runs)
+#   make verify      alias for check
+#   make fuzz-smoke  run each native fuzz target briefly (10s apiece)
+#   make serve-smoke build mdserve and drive it end to end over TCP
+#   make metrics     regenerate metrics.json and sanity-check its scopes
+#   make bench-json  regenerate BENCH_parallel.json on this host
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build test race vet bench bench-json bench-alloc metrics check verify clean
+.PHONY: all build test race vet bench bench-json bench-alloc metrics fuzz-smoke serve-smoke check verify clean
 
 all: build test
 
@@ -51,7 +55,24 @@ metrics:
 bench-json:
 	$(GO) run ./cmd/paper -bench-json BENCH_parallel.json -loops 300
 
-check: build vet test race
+# Brief runs of the native fuzz targets. FuzzReducePreservesF fuzzes the
+# paper's theorem (reduction preserves the forbidden-latency matrix);
+# FuzzServeBatchDecode pins that no bytes on the wire can panic or 5xx
+# the batch endpoint. Kept out of `make test` so `go test ./...` stays
+# fast; corpus regressions in testdata/ still run there.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzReducePreservesF$$' -fuzztime $(FUZZTIME) ./internal/core/
+	$(GO) test -run '^$$' -fuzz '^FuzzServeBatchDecode$$' -fuzztime $(FUZZTIME) ./internal/serve/
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/mdl/
+
+# End-to-end daemon smoke: build cmd/mdserve, boot it on an ephemeral
+# port, run one reduce + one batch + a metrics scrape over real TCP, then
+# SIGTERM and require a clean drain. Build-tagged so plain `go test`
+# skips it.
+serve-smoke:
+	$(GO) test -tags smoke -run '^TestServeSmoke$$' -count=1 ./internal/serve/
+
+check: build vet test race fuzz-smoke serve-smoke
 
 verify: check
 

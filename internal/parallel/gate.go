@@ -1,0 +1,66 @@
+package parallel
+
+import "context"
+
+// Gate is a concurrency-limiting admission gate: a counting semaphore
+// whose Acquire honours context cancellation. Long-running servers
+// (cmd/mdserve) admit at most Cap() requests into the expensive
+// reduce/query paths at once; excess requests wait until a slot frees or
+// their deadline expires, bounding both CPU oversubscription and the
+// peak memory of concurrently-built query modules.
+type Gate struct {
+	slots chan struct{}
+}
+
+// NewGate returns a gate admitting at most n concurrent holders.
+// n < 1 is clamped to 1 (a gate that admits nothing would deadlock every
+// caller).
+func NewGate(n int) *Gate {
+	if n < 1 {
+		n = 1
+	}
+	return &Gate{slots: make(chan struct{}, n)}
+}
+
+// Acquire blocks until a slot is free or ctx is done, returning ctx.Err()
+// in the latter case. A free slot is preferred over a concurrently-done
+// context.
+func (g *Gate) Acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TryAcquire takes a slot if one is immediately free.
+func (g *Gate) TryAcquire() bool {
+	select {
+	case g.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release frees a slot taken by Acquire or TryAcquire. Releasing a slot
+// that was never acquired is a programming error and panics.
+func (g *Gate) Release() {
+	select {
+	case <-g.slots:
+	default:
+		panic("parallel: Gate.Release without matching Acquire")
+	}
+}
+
+// Cap returns the number of concurrent holders the gate admits.
+func (g *Gate) Cap() int { return cap(g.slots) }
+
+// InFlight returns the number of slots currently held.
+func (g *Gate) InFlight() int { return len(g.slots) }

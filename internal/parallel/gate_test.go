@@ -1,0 +1,106 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGateCapAndTryAcquire(t *testing.T) {
+	g := NewGate(2)
+	if g.Cap() != 2 {
+		t.Fatalf("Cap() = %d, want 2", g.Cap())
+	}
+	if !g.TryAcquire() || !g.TryAcquire() {
+		t.Fatal("could not take the two free slots")
+	}
+	if g.TryAcquire() {
+		t.Fatal("TryAcquire succeeded beyond capacity")
+	}
+	if g.InFlight() != 2 {
+		t.Fatalf("InFlight() = %d, want 2", g.InFlight())
+	}
+	g.Release()
+	if !g.TryAcquire() {
+		t.Fatal("released slot not reusable")
+	}
+	g.Release()
+	g.Release()
+}
+
+func TestGateAcquireHonorsContext(t *testing.T) {
+	g := NewGate(1)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatalf("Acquire on empty gate: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := g.Acquire(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Acquire on full gate = %v, want DeadlineExceeded", err)
+	}
+	g.Release()
+	// A free slot beats an already-done context (fast path).
+	done, cancelDone := context.WithCancel(context.Background())
+	cancelDone()
+	if err := g.Acquire(done); err != nil {
+		t.Fatalf("Acquire with free slot and done ctx = %v, want nil", err)
+	}
+	g.Release()
+}
+
+func TestGateReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without Acquire did not panic")
+		}
+	}()
+	NewGate(1).Release()
+}
+
+// TestGateBoundsConcurrency runs many goroutines through a small gate
+// under -race and pins that the observed high-water concurrency never
+// exceeds the gate's capacity.
+func TestGateBoundsConcurrency(t *testing.T) {
+	const capacity = 3
+	g := NewGate(capacity)
+	var inFlight, highWater atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.Acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			n := inFlight.Add(1)
+			for {
+				hw := highWater.Load()
+				if n <= hw || highWater.CompareAndSwap(hw, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-1)
+			g.Release()
+		}()
+	}
+	wg.Wait()
+	if hw := highWater.Load(); hw > capacity {
+		t.Fatalf("high-water concurrency %d exceeds gate capacity %d", hw, capacity)
+	}
+	if g.InFlight() != 0 {
+		t.Fatalf("gate not drained: %d in flight", g.InFlight())
+	}
+}
+
+func TestGateClampsCapacity(t *testing.T) {
+	if got := NewGate(0).Cap(); got != 1 {
+		t.Fatalf("NewGate(0).Cap() = %d, want 1", got)
+	}
+	if got := NewGate(-5).Cap(); got != 1 {
+		t.Fatalf("NewGate(-5).Cap() = %d, want 1", got)
+	}
+}

@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/obs"
+	"repro/internal/query"
+	"repro/internal/resmodel"
+)
+
+// BatchRequest is the body of POST /v1/batch: a contention-query
+// sequence executed in order on a fresh module over a registered
+// description. Either assign or assign&free, but not both, should be
+// used within one batch (the paper's usage contract).
+type BatchRequest struct {
+	// Machine names a registered description (see /v1/reduce).
+	Machine string `json:"machine"`
+	// Use selects "reduced" (default) or "original" description.
+	Use string `json:"use,omitempty"`
+	// Representation selects "discrete" (default) or "bitvector".
+	Representation string `json:"representation,omitempty"`
+	// K is the bitvector packing (cycles per word); 0 selects the
+	// densest legal packing for the description's resource count.
+	K int `json:"k,omitempty"`
+	// WordBits is the bitvector word size, 32 or 64 (0 selects 64).
+	WordBits int `json:"word_bits,omitempty"`
+	// II selects a Modulo Reservation Table with II columns; 0 selects a
+	// linear reserved table.
+	II int `json:"ii,omitempty"`
+	// Ops is the query sequence.
+	Ops []BatchOp `json:"ops"`
+}
+
+// BatchOp is one query of a batch.
+type BatchOp struct {
+	// Fn is "check", "assign", "assign_free", "free" or "check_with_alt".
+	Fn string `json:"fn"`
+	// Op is the expanded-op index ("check_with_alt": the original-op index).
+	Op int `json:"op"`
+	// Cycle is the schedule cycle.
+	Cycle int `json:"cycle"`
+	// ID is the instance id ("assign", "assign_free", "free").
+	ID int `json:"id,omitempty"`
+}
+
+// BatchResult is the answer to one BatchOp. Check-like ops set OK;
+// check_with_alt additionally sets AltOp on success; assign_free lists
+// the evicted instance ids (omitted when none).
+type BatchResult struct {
+	OK      *bool `json:"ok,omitempty"`
+	AltOp   *int  `json:"alt_op,omitempty"`
+	Evicted []int `json:"evicted,omitempty"`
+}
+
+// BatchResponse is the body of a successful POST /v1/batch.
+type BatchResponse struct {
+	Machine        string         `json:"machine"`
+	Use            string         `json:"use"`
+	Representation string         `json:"representation"`
+	II             int            `json:"ii"`
+	Results        []BatchResult  `json:"results"`
+	Counters       query.Counters `json:"counters"`
+}
+
+// httpError carries a status code alongside a client-facing message.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func errf(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// maxModuloCycle bounds |cycle| on modulo tables: folding handles any
+// cycle, but bounding keeps cycle+usage arithmetic far from integer
+// overflow on every platform.
+const maxModuloCycle = 1 << 30
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	obs.Inc("serve.batch.requests")
+	var req BatchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	sess := s.lookup(req.Machine)
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown machine %q (register it via /v1/reduce)", req.Machine))
+		return
+	}
+	resp, herr := s.execBatch(r, sess, &req)
+	if herr != nil {
+		writeErr(w, herr.status, herr.msg)
+		return
+	}
+	obs.Add("serve.batch.ops", int64(len(req.Ops)))
+	obs.Observe("serve.batch.size", int64(len(req.Ops)))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// execBatch validates and runs one batch on a fresh module. Every
+// malformed or semantically invalid input returns a 4xx httpError before
+// it can reach a code path that panics (out-of-range indices, negative
+// linear cycles, assign-on-conflict, free of unknown instances); the
+// fuzz harness pins this.
+func (s *Server) execBatch(r *http.Request, sess *session, req *BatchRequest) (*BatchResponse, *httpError) {
+	use := req.Use
+	switch use {
+	case "":
+		use = "reduced"
+	case "reduced", "original":
+	default:
+		return nil, errf(http.StatusBadRequest, "bad use %q (want reduced or original)", req.Use)
+	}
+	e := sess.red.Reduced
+	if use == "original" {
+		e = sess.expanded
+	}
+
+	if req.II < 0 || req.II > s.cfg.MaxCycle {
+		return nil, errf(http.StatusBadRequest, "ii %d out of range [0, %d]", req.II, s.cfg.MaxCycle)
+	}
+	if len(req.Ops) > s.cfg.MaxBatchOps {
+		return nil, errf(http.StatusBadRequest, "batch has %d ops, limit %d", len(req.Ops), s.cfg.MaxBatchOps)
+	}
+
+	rep := req.Representation
+	var mod query.Module
+	switch rep {
+	case "", "discrete":
+		rep = "discrete"
+		mod = query.NewDiscrete(e, req.II)
+	case "bitvector":
+		wordBits := req.WordBits
+		if wordBits == 0 {
+			wordBits = 64
+		}
+		k := req.K
+		if k == 0 {
+			k = query.MaxCyclesPerWord(len(e.Resources), wordBits)
+		}
+		var err error
+		mod, err = query.NewBitvector(e, k, wordBits, req.II)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "%v", err)
+		}
+	default:
+		return nil, errf(http.StatusBadRequest, "bad representation %q (want discrete or bitvector)", req.Representation)
+	}
+
+	// live mirrors the module's scheduled-instance state so frees and id
+	// reuse are validated instead of corrupting (or panicking inside)
+	// the module.
+	type placed struct{ op, cycle int }
+	live := map[int]placed{}
+	results := make([]BatchResult, 0, len(req.Ops))
+
+	checkCycle := func(i int, op BatchOp) *httpError {
+		if req.II > 0 {
+			if op.Cycle < -maxModuloCycle || op.Cycle > maxModuloCycle {
+				return errf(http.StatusBadRequest, "op %d: cycle %d out of range on modulo table", i, op.Cycle)
+			}
+			return nil
+		}
+		if op.Cycle < 0 || op.Cycle > s.cfg.MaxCycle {
+			return errf(http.StatusBadRequest, "op %d: cycle %d out of range [0, %d] on linear table", i, op.Cycle, s.cfg.MaxCycle)
+		}
+		return nil
+	}
+
+	for i, op := range req.Ops {
+		// A long batch re-checks its deadline periodically so a drained
+		// or timed-out request stops doing work.
+		if i&0x1ff == 0 {
+			if err := r.Context().Err(); err != nil {
+				return nil, errf(http.StatusServiceUnavailable, "request deadline exceeded at op %d of %d", i, len(req.Ops))
+			}
+		}
+		if herr := checkCycle(i, op); herr != nil {
+			return nil, herr
+		}
+		switch op.Fn {
+		case "check":
+			if op.Op < 0 || op.Op >= len(e.Ops) {
+				return nil, errf(http.StatusBadRequest, "op %d: expanded-op index %d out of range [0, %d)", i, op.Op, len(e.Ops))
+			}
+			ok := mod.Check(op.Op, op.Cycle)
+			results = append(results, BatchResult{OK: &ok})
+		case "check_with_alt":
+			if op.Op < 0 || op.Op >= len(e.AltGroup) {
+				return nil, errf(http.StatusBadRequest, "op %d: original-op index %d out of range [0, %d)", i, op.Op, len(e.AltGroup))
+			}
+			alt, ok := mod.CheckWithAlt(op.Op, op.Cycle)
+			res := BatchResult{OK: &ok}
+			if ok {
+				res.AltOp = &alt
+			}
+			results = append(results, res)
+		case "assign":
+			if op.Op < 0 || op.Op >= len(e.Ops) {
+				return nil, errf(http.StatusBadRequest, "op %d: expanded-op index %d out of range [0, %d)", i, op.Op, len(e.Ops))
+			}
+			if op.ID < 0 {
+				return nil, errf(http.StatusBadRequest, "op %d: negative instance id %d", i, op.ID)
+			}
+			if _, used := live[op.ID]; used {
+				return nil, errf(http.StatusBadRequest, "op %d: instance id %d already scheduled", i, op.ID)
+			}
+			if !mod.Check(op.Op, op.Cycle) {
+				return nil, errf(http.StatusConflict, "op %d: assign of op %d at cycle %d conflicts (check first, or use assign_free)", i, op.Op, op.Cycle)
+			}
+			mod.Assign(op.Op, op.Cycle, op.ID)
+			live[op.ID] = placed{op.Op, op.Cycle}
+			results = append(results, BatchResult{})
+		case "assign_free":
+			if op.Op < 0 || op.Op >= len(e.Ops) {
+				return nil, errf(http.StatusBadRequest, "op %d: expanded-op index %d out of range [0, %d)", i, op.Op, len(e.Ops))
+			}
+			if op.ID < 0 {
+				return nil, errf(http.StatusBadRequest, "op %d: negative instance id %d", i, op.ID)
+			}
+			if _, used := live[op.ID]; used {
+				return nil, errf(http.StatusBadRequest, "op %d: instance id %d already scheduled", i, op.ID)
+			}
+			if !mod.Schedulable(op.Op) {
+				return nil, errf(http.StatusConflict, "op %d: op %d is unschedulable at II=%d", i, op.Op, req.II)
+			}
+			ev := mod.AssignFree(op.Op, op.Cycle, op.ID)
+			res := BatchResult{}
+			if len(ev) > 0 {
+				// The module may reuse the backing array across calls;
+				// the response needs a stable copy.
+				res.Evicted = append([]int(nil), ev...)
+				for _, id := range ev {
+					delete(live, id)
+				}
+			}
+			live[op.ID] = placed{op.Op, op.Cycle}
+			results = append(results, res)
+		case "free":
+			in, ok := live[op.ID]
+			if !ok {
+				return nil, errf(http.StatusBadRequest, "op %d: free of unscheduled instance id %d", i, op.ID)
+			}
+			if in.op != op.Op || in.cycle != op.Cycle {
+				return nil, errf(http.StatusBadRequest, "op %d: free of instance %d with op/cycle %d/%d, scheduled as %d/%d",
+					i, op.ID, op.Op, op.Cycle, in.op, in.cycle)
+			}
+			mod.Free(op.Op, op.Cycle, op.ID)
+			delete(live, op.ID)
+			results = append(results, BatchResult{})
+		default:
+			return nil, errf(http.StatusBadRequest, "op %d: bad fn %q (want check, assign, assign_free, free or check_with_alt)", i, op.Fn)
+		}
+	}
+	return &BatchResponse{
+		Machine:        sess.name,
+		Use:            use,
+		Representation: rep,
+		II:             req.II,
+		Results:        results,
+		Counters:       *mod.Counters(),
+	}, nil
+}
+
+// expandedFor returns the description a batch with the given use string
+// executes against (test helper for differential runs).
+func (sess *session) expandedFor(use string) *resmodel.Expanded {
+	if use == "original" {
+		return sess.expanded
+	}
+	return sess.red.Reduced
+}

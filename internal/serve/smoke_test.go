@@ -1,0 +1,148 @@
+//go:build smoke
+
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke is the end-to-end smoke run behind `make serve-smoke`:
+// build the real mdserve binary, start it on an ephemeral port, drive
+// one reduce, one batch and one metrics scrape over real TCP, then
+// SIGTERM it and require a clean drain (exit code 0). Build-tagged so
+// `go test ./...` stays fast.
+func TestServeSmoke(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "mdserve")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/mdserve")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build cmd/mdserve: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-preload", "example,cydra5-subset", "-cache", "8")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon prints its resolved address once the listener is up.
+	lines := bufio.NewScanner(stdout)
+	var base string
+	for lines.Scan() {
+		if _, addr, ok := strings.Cut(lines.Text(), "listening on "); ok {
+			base = addr
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("mdserve never announced its address: %v", lines.Err())
+	}
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	post := func(path string, body any) []byte {
+		t.Helper()
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Post(base+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: status %d: %s", path, resp.StatusCode, out)
+		}
+		return out
+	}
+
+	// One reduce: the Figure 1 example in MDL source form.
+	const exampleMDL = `machine smoke
+resources bus0 bus1 alu0 alu1 wb
+
+op add latency 2 {
+  alu0: 0
+  bus0: 0
+  wb: 2
+  alt {
+    alu1: 0
+    bus1: 0
+    wb: 2
+  }
+}
+op store latency 1 {
+  bus0: 0
+  bus1: 1
+}
+`
+	var red ReduceResponse
+	if err := json.Unmarshal(post("/v1/reduce", ReduceRequest{MDL: exampleMDL}), &red); err != nil {
+		t.Fatalf("reduce response: %v", err)
+	}
+	if red.Name != "smoke" || red.ReducedUsages > red.Usages {
+		t.Fatalf("implausible reduce response: %+v", red)
+	}
+
+	// One batch against it.
+	var batch BatchResponse
+	if err := json.Unmarshal(post("/v1/batch", BatchRequest{
+		Machine: "smoke",
+		Ops: []BatchOp{
+			{Fn: "check", Op: 0, Cycle: 0},
+			{Fn: "assign", Op: 0, Cycle: 0, ID: 1},
+			{Fn: "check_with_alt", Op: 0, Cycle: 0},
+			{Fn: "free", Op: 0, Cycle: 0, ID: 1},
+		},
+	}), &batch); err != nil {
+		t.Fatalf("batch response: %v", err)
+	}
+	if len(batch.Results) != 4 || batch.Results[0].OK == nil || !*batch.Results[0].OK {
+		t.Fatalf("implausible batch response: %+v", batch)
+	}
+
+	// Metrics scrape: -preload and the requests above must have left
+	// serve-scope counters behind.
+	resp, err := client.Get(base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/metrics: status %d: %s", resp.StatusCode, snap)
+	}
+	if !bytes.Contains(snap, []byte("serve.reduce.requests")) {
+		t.Fatalf("metrics snapshot missing serve counters: %s", snap)
+	}
+
+	// Clean shutdown: SIGTERM, drain, exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("mdserve did not exit cleanly on SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("mdserve did not drain within 15s of SIGTERM")
+	}
+}
