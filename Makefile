@@ -8,11 +8,13 @@
 #   make serve-smoke build mdserve and drive it end to end over TCP
 #   make metrics     regenerate metrics.json and sanity-check its scopes
 #   make bench-json  regenerate BENCH_parallel.json on this host
+#   make bench-reduction  regenerate BENCH_reduction.json on this host
+#   make bench-compare    re-measure and gate against BENCH_reduction.json
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet bench bench-json bench-alloc metrics fuzz-smoke serve-smoke check verify clean
+.PHONY: all build test race vet bench bench-json bench-reduction bench-compare bench-alloc metrics fuzz-smoke serve-smoke check verify clean
 
 all: build test
 
@@ -54,6 +56,20 @@ metrics:
 # report records GOMAXPROCS and NumCPU.
 bench-json:
 	$(GO) run ./cmd/paper -bench-json BENCH_parallel.json -loops 300
+
+# Per-stage reduction wall time (F-matrix, genset, prune, select, exact)
+# over the Tables 1-4 workload. Commits the baseline bench-compare gates
+# against; regenerate deliberately when the pipeline legitimately changes.
+bench-reduction:
+	$(GO) run ./cmd/paper -bench-reduction BENCH_reduction.json
+
+# Non-tier-1 perf smoke: re-measure the per-stage report and fail if any
+# stage regressed more than 20% against the committed baseline. Wall-time
+# gating is inherently host-sensitive, which is why this stays out of
+# `make check`.
+bench-compare:
+	$(GO) run ./cmd/paper -bench-reduction /tmp/BENCH_reduction.current.json
+	$(GO) run ./cmd/benchgate -baseline BENCH_reduction.json -current /tmp/BENCH_reduction.current.json
 
 # Brief runs of the native fuzz targets. FuzzReducePreservesF fuzzes the
 # paper's theorem (reduction preserves the forbidden-latency matrix);

@@ -1,0 +1,117 @@
+// Command benchgate compares a freshly measured benchmark report against
+// a committed baseline and fails when any entry regresses. It understands
+// the BENCH_*.json schema written by `paper -bench-json` and
+// `paper -bench-reduction`.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_reduction.json -current /tmp/bench.json
+//	benchgate ... -max-regress 1.20 -min-delta-ms 5
+//
+// An entry regresses when its serial wall time exceeds the baseline by
+// more than the -max-regress ratio AND by more than -min-delta-ms (the
+// absolute floor absorbs scheduler noise on entries that run in
+// microseconds). A baseline entry missing from the current report is
+// always an error: a renamed or dropped stage must update the committed
+// baseline deliberately. Extra entries in the current report are fine —
+// they are future baseline material.
+//
+// Exit status: 0 when every baseline entry holds, 1 on any regression or
+// missing entry, 2 on usage or I/O errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type benchEntry struct {
+	Name       string  `json:"name"`
+	Workers    int     `json:"workers"`
+	SerialNS   int64   `json:"serial_ns"`
+	ParallelNS int64   `json:"parallel_ns"`
+	Speedup    float64 `json:"speedup"`
+}
+
+type benchReport struct {
+	GeneratedAt string       `json:"generated_at"`
+	GoMaxProcs  int          `json:"gomaxprocs"`
+	NumCPU      int          `json:"num_cpu"`
+	Loops       int          `json:"loops"`
+	Entries     []benchEntry `json:"entries"`
+}
+
+func load(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Entries) == 0 {
+		return nil, fmt.Errorf("%s: report has no entries", path)
+	}
+	return &rep, nil
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "committed baseline report (required)")
+		currentPath  = flag.String("current", "", "freshly measured report (required)")
+		maxRegress   = flag.Float64("max-regress", 1.20, "maximum allowed current/baseline serial wall-time ratio")
+		minDeltaMS   = flag.Float64("min-delta-ms", 5, "ignore regressions smaller than this many milliseconds")
+	)
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *maxRegress <= 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: -max-regress must be positive")
+		os.Exit(2)
+	}
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	curByName := make(map[string]benchEntry, len(cur.Entries))
+	for _, e := range cur.Entries {
+		curByName[e.Name] = e
+	}
+
+	failed := false
+	minDeltaNS := int64(*minDeltaMS * 1e6)
+	for _, b := range base.Entries {
+		c, ok := curByName[b.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %-22s missing from %s\n", b.Name, *currentPath)
+			failed = true
+			continue
+		}
+		ratio := float64(c.SerialNS) / float64(b.SerialNS)
+		if c.SerialNS > int64(float64(b.SerialNS)**maxRegress) && c.SerialNS-b.SerialNS > minDeltaNS {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %-22s serial %8.2fms vs baseline %8.2fms (%.2fx > %.2fx)\n",
+				b.Name, float64(c.SerialNS)/1e6, float64(b.SerialNS)/1e6, ratio, *maxRegress)
+			failed = true
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: ok   %-22s serial %8.2fms vs baseline %8.2fms (%.2fx)\n",
+			b.Name, float64(c.SerialNS)/1e6, float64(b.SerialNS)/1e6, ratio)
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d entries within %.0f%% of %s\n",
+		len(base.Entries), (*maxRegress-1)*100, *baselinePath)
+}

@@ -12,6 +12,7 @@
 //	paper -loops 300      # subsample the 1327-loop benchmark (faster)
 //	paper -table 6 -parallel 8 # fan per-loop scheduling across 8 workers
 //	paper -bench-json BENCH_parallel.json  # serial-vs-parallel wall-time report
+//	paper -bench-reduction BENCH_reduction.json  # per-stage reduction wall-time report
 //	paper -table 6 -metrics metrics.json   # emit a machine-readable profile
 //
 // -parallel fans the per-loop scheduling of Tables 5/6 and the kernel
@@ -53,6 +54,7 @@ func main() {
 		loops     = flag.Int("loops", 0, "restrict the loop benchmark to the first N loops (0 = all 1327)")
 		nParallel = flag.Int("parallel", 0, "worker-pool size for per-loop scheduling (0 = GOMAXPROCS, 1 = serial)")
 		benchJSON = flag.String("bench-json", "", "measure serial-vs-parallel wall time and write the report to this file (e.g. BENCH_parallel.json)")
+		benchRed  = flag.String("bench-reduction", "", "measure per-stage reduction wall time and write the report to this file (e.g. BENCH_reduction.json)")
 		metrics   = flag.String("metrics", "", "enable the observability layer and write a JSON metrics snapshot to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
@@ -68,6 +70,13 @@ func main() {
 	}
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON, workers, *loops); err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchRed != "" {
+		if err := runBenchReduction(*benchRed, workers); err != nil {
 			fmt.Fprintln(os.Stderr, "paper:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"repro/internal/forbidden"
+)
+
+// tcode encodes the non-negative forbidden-latency triple "X scheduled f
+// cycles after Y conflicts" — i.e. f in F[X][Y] — as a single integer.
+func tcode(x, y, f, numOps, span int) int64 {
+	return (int64(x)*int64(numOps)+int64(y))*int64(span) + int64(f)
+}
+
+// tripleIndex maps the non-negative forbidden-latency triples of a matrix
+// to dense indices [0, Len()): index order is the (x, y, f) enumeration
+// order, which equals ascending tcode order, so comparisons and stable
+// sorts over dense indices order exactly like the sparse codes they
+// replace. Built once per reduction stage and shared by the selection
+// heuristic, the pruner and the exact-cover search, it turns every
+// per-triple map in those inner loops into flat array indexing.
+type tripleIndex struct {
+	codes        []int64 // dense index -> tcode, ascending
+	idx          map[int64]int32
+	numOps, span int
+}
+
+func newTripleIndex(m *forbidden.Matrix) *tripleIndex {
+	ti := &tripleIndex{numOps: m.NumOps, span: m.Span}
+	for x := 0; x < m.NumOps; x++ {
+		for y := 0; y < m.NumOps; y++ {
+			m.Set(x, y).ForEach(func(f int) bool {
+				if f >= 0 {
+					ti.codes = append(ti.codes, tcode(x, y, f, m.NumOps, m.Span))
+				}
+				return true
+			})
+		}
+	}
+	ti.idx = make(map[int64]int32, len(ti.codes))
+	for i, c := range ti.codes {
+		ti.idx[c] = int32(i)
+	}
+	return ti
+}
+
+// Len returns the number of triples in the universe.
+func (ti *tripleIndex) Len() int { return len(ti.codes) }
+
+// index returns the dense index of triple (x, y, f), or -1 when the
+// latency is not forbidden (the triple is outside the universe).
+func (ti *tripleIndex) index(x, y, f int) int32 {
+	i, ok := ti.idx[tcode(x, y, f, ti.numOps, ti.span)]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// code returns the sparse tcode of dense index t.
+func (ti *tripleIndex) code(t int32) int64 { return ti.codes[t] }

@@ -99,15 +99,21 @@ func GeneratingSetParallel(m *forbidden.Matrix, tr *Trace, workers int) []*Resou
 
 	var G []*Resource
 
-	// subsetOfRes reports whether every usage of a is in b.
+	// subsetOfRes reports whether every usage of a is in b: a linear merge
+	// over the sorted usage slices.
 	subsetOfRes := func(a, b *Resource) bool {
 		if len(a.uses) > len(b.uses) {
 			return false
 		}
-		for u := range a.uses {
-			if !b.has(u) {
+		j := 0
+		for _, u := range a.uses {
+			for j < len(b.uses) && b.uses[j] < u {
+				j++
+			}
+			if j >= len(b.uses) || b.uses[j] != u {
 				return false
 			}
+			j++
 		}
 		return true
 	}
@@ -162,7 +168,11 @@ func GeneratingSetParallel(m *forbidden.Matrix, tr *Trace, workers int) []*Resou
 		// ahead of the serial rule applications sees exactly the usage
 		// sets the serial algorithm would.
 		if cap(scans) < snap {
-			scans = make([]scan, snap)
+			// Grow while keeping the old slots: their compatible buffers are
+			// reused across pairs, so steady state allocates nothing here.
+			grown := make([]scan, snap)
+			copy(grown, scans[:cap(scans)])
+			scans = grown
 		}
 		scans = scans[:snap]
 		scanWorkers := 1
@@ -172,18 +182,19 @@ func GeneratingSetParallel(m *forbidden.Matrix, tr *Trace, workers int) []*Resou
 		parallel.ForEach(snap, scanWorkers, func(i int) {
 			q := G[i]
 			if q.dead {
-				scans[i] = scan{}
+				scans[i] = scan{compatible: scans[i].compatible[:0]}
 				return
 			}
-			s := scan{fully: true}
-			for u := range q.uses {
+			compatible := scans[i].compatible[:0]
+			fully := true
+			for _, u := range q.uses {
 				if compat(m, u, u0) && compat(m, u, u1) {
-					s.compatible = append(s.compatible, u)
+					compatible = append(compatible, u)
 				} else {
-					s.fully = false
+					fully = false
 				}
 			}
-			scans[i] = s
+			scans[i] = scan{fully: fully, compatible: compatible}
 		})
 
 		// Phase 2: rule applications, serial and in set order (they mutate

@@ -3,96 +3,77 @@ package core
 import (
 	"sort"
 
+	"repro/internal/bitset"
 	"repro/internal/forbidden"
 )
-
-// tcode encodes the non-negative forbidden-latency triple "X scheduled f
-// cycles after Y conflicts" — i.e. f in F[X][Y] — as a single integer.
-func tcode(x, y, f, numOps, span int) int64 {
-	return (int64(x)*int64(numOps)+int64(y))*int64(span) + int64(f)
-}
-
-// genTriples returns the sorted set of non-negative forbidden-latency
-// triples generated by the resource: for usages (X, cx) and (Y, cy),
-// latency (cy - cx) in F[X][Y] (kept when non-negative).
-func genTriples(m *forbidden.Matrix, r *Resource) []int64 {
-	us := r.Uses()
-	set := make(map[int64]struct{}, len(us)*len(us)/2+1)
-	for _, a := range us {
-		for _, b := range us {
-			f := b.Cycle - a.Cycle
-			if f < 0 {
-				continue
-			}
-			set[tcode(a.Op, b.Op, f, m.NumOps, m.Span)] = struct{}{}
-		}
-	}
-	out := make([]int64, 0, len(set))
-	for t := range set {
-		out = append(out, t)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// subsetOf reports whether sorted slice a is a subset of sorted slice b.
-func subsetOf(a, b []int64) bool {
-	if len(a) > len(b) {
-		return false
-	}
-	j := 0
-	for _, x := range a {
-		for j < len(b) && b[j] < x {
-			j++
-		}
-		if j >= len(b) || b[j] != x {
-			return false
-		}
-		j++
-	}
-	return true
-}
 
 // Prune removes from the generating set every resource whose generated
 // forbidden-latency set is covered by (is a subset of) that of a remaining
 // resource. This eliminates submaximal resources as well as redundant
 // maximal resources such as mirror images (first step of the selection
 // heuristic, Section 5).
+//
+// Triple sets are dense bitsets over the matrix's forbidden-triple
+// universe: dedup buckets by a word hash and confirms with an exact
+// equality check, and dominance is a word-wise subset test. Pairs of an
+// unsound resource generating latencies the machine allows fall outside
+// the universe and are ignored, as in SelectCover.
 func Prune(m *forbidden.Matrix, G []*Resource) []*Resource {
+	ti := newTripleIndex(m)
+
 	type entry struct {
-		r       *Resource
-		triples []int64
+		r   *Resource
+		set *bitset.Dense
 	}
 	entries := make([]entry, 0, len(G))
-	seen := map[string]bool{}
 	for _, r := range G {
 		if r.dead || r.NumUses() == 0 {
 			continue
 		}
-		// Dedupe resources generating identical triple sets: keep the one
-		// with fewer usages (cheaper for the selection step), breaking ties
-		// deterministically by key.
-		entries = append(entries, entry{r, genTriples(m, r)})
-		_ = seen
+		set := bitset.NewDense(ti.Len())
+		us := r.Uses()
+		for _, a := range us {
+			for _, b := range us {
+				f := b.Cycle - a.Cycle
+				if f < 0 {
+					continue
+				}
+				if t := ti.index(a.Op, b.Op, f); t >= 0 {
+					set.Add(int(t))
+				}
+			}
+		}
+		entries = append(entries, entry{r, set})
 	}
-	// Identical triple sets: keep a single representative (fewest usages).
-	byTriples := map[string]int{}
+
+	// Identical triple sets: keep a single representative with the fewest
+	// usages (cheaper for the selection step), ties preferring the earlier
+	// entry. Buckets by hash; equality confirmed exactly, so collisions
+	// only cost a comparison.
+	byHash := map[uint64][]int{} // hash -> current representative entry indices
 	keep := make([]bool, len(entries))
 	for i := range keep {
 		keep[i] = true
 	}
 	for i, e := range entries {
-		k := tripleKey(e.triples)
-		if j, dup := byTriples[k]; dup {
-			// Prefer fewer usages; tie prefers earlier (deterministic).
-			if entries[i].r.NumUses() < entries[j].r.NumUses() {
+		h := e.set.Hash()
+		bucket := byHash[h]
+		dup := false
+		for bi, j := range bucket {
+			if !e.set.Equal(entries[j].set) {
+				continue
+			}
+			dup = true
+			if e.r.NumUses() < entries[j].r.NumUses() {
 				keep[j] = false
-				byTriples[k] = i
+				bucket[bi] = i
 			} else {
 				keep[i] = false
 			}
-		} else {
-			byTriples[k] = i
+			break
+		}
+		if !dup {
+			byHash[h] = append(bucket, i)
 		}
 	}
 	dedup := entries[:0]
@@ -106,13 +87,13 @@ func Prune(m *forbidden.Matrix, G []*Resource) []*Resource {
 	// Sort by triple-set size descending so any strict superset precedes
 	// its subsets; then drop every entry dominated by a kept one.
 	sort.SliceStable(entries, func(i, j int) bool {
-		return len(entries[i].triples) > len(entries[j].triples)
+		return entries[i].set.Len() > entries[j].set.Len()
 	})
 	var kept []entry
 	for _, e := range entries {
 		dominated := false
 		for _, k := range kept {
-			if len(k.triples) > len(e.triples) && subsetOf(e.triples, k.triples) {
+			if k.set.Len() > e.set.Len() && e.set.SubsetOf(k.set) {
 				dominated = true
 				break
 			}
@@ -126,14 +107,4 @@ func Prune(m *forbidden.Matrix, G []*Resource) []*Resource {
 		out[i] = e.r
 	}
 	return out
-}
-
-func tripleKey(ts []int64) string {
-	b := make([]byte, 0, len(ts)*8)
-	for _, t := range ts {
-		for s := 0; s < 64; s += 8 {
-			b = append(b, byte(t>>uint(s)))
-		}
-	}
-	return string(b)
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/forbidden"
 	"repro/internal/obs"
@@ -78,9 +79,29 @@ func reduce(e *resmodel.Expanded, obj Objective, traced bool, workers int) *Resu
 		workers = 1
 	}
 	r := &Result{Input: e, Objective: obj, workers: workers}
+
+	// Per-stage wall-time histograms (µs) live under core.stage.*, a scope
+	// determinism tests exclude: durations vary run to run and with the
+	// worker count, unlike the core.* totals above them.
+	metered := obs.Enabled()
+	var stage obs.Scope
+	var stageStart time.Time
+	if metered {
+		stage = obs.Default().Scope("core").Scope("stage")
+		stageStart = time.Now()
+	}
+	endStage := func(name string) {
+		if metered {
+			now := time.Now()
+			stage.Histogram(name).Observe(now.Sub(stageStart).Microseconds())
+			stageStart = now
+		}
+	}
+
 	r.Matrix = forbidden.ComputeParallel(e, workers)
 	r.Classes = r.Matrix.ComputeClasses()
 	r.ClassMatrix = r.Matrix.Collapse(r.Classes)
+	endStage("fmatrix")
 
 	var tr *Trace
 	if traced {
@@ -91,10 +112,13 @@ func reduce(e *resmodel.Expanded, obj Objective, traced bool, workers int) *Resu
 	gen := GeneratingSetParallel(r.ClassMatrix, tr, workers)
 	r.Trace = tr
 	r.GenSetSize = len(gen)
+	endStage("genset")
 	pruned := Prune(r.ClassMatrix, gen)
 	r.PrunedSize = len(pruned)
+	endStage("prune")
 	r.Selected = SelectCover(r.ClassMatrix, pruned, obj)
-	if obs.Enabled() {
+	endStage("select")
+	if metered {
 		s := obs.Default().Scope("core")
 		s.Counter("reductions").Inc()
 		s.Histogram("genset_size").Observe(int64(r.GenSetSize))

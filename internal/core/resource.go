@@ -52,27 +52,42 @@ func decodeU(e uint32) U {
 }
 
 // Resource is a synthesized resource under construction: a set of mutually
-// compatible usages. All resources built by the generating-set algorithm
-// have their earliest usage in cycle 0 (the paper's canonical form).
+// compatible usages, stored as a sorted slice of encoded usages. The slice
+// representation keeps the generating-set inner loops (compatibility scans,
+// subset checks, antichain maintenance) on linear cache-friendly merges
+// with zero map operations — the maps this replaced dominated the
+// reduction pipeline's profile. All resources built by the generating-set
+// algorithm have their earliest usage in cycle 0 (the paper's canonical
+// form).
 type Resource struct {
-	uses map[uint32]struct{}
-	dead bool // tombstoned duplicate
+	uses []uint32 // sorted ascending (encoded (op, cycle) order)
+	dead bool     // tombstoned duplicate
 }
 
 func newResource(us ...uint32) *Resource {
-	r := &Resource{uses: make(map[uint32]struct{}, len(us))}
+	r := &Resource{uses: make([]uint32, 0, len(us))}
 	for _, u := range us {
-		r.uses[u] = struct{}{}
+		r.add(u)
 	}
 	return r
 }
 
 func (r *Resource) has(u uint32) bool {
-	_, ok := r.uses[u]
-	return ok
+	i := sort.Search(len(r.uses), func(i int) bool { return r.uses[i] >= u })
+	return i < len(r.uses) && r.uses[i] == u
 }
 
-func (r *Resource) add(u uint32) { r.uses[u] = struct{}{} }
+// add inserts u in sorted position (no-op when present). Resources stay
+// small (tens of usages), so the O(n) insertion loses to no map here.
+func (r *Resource) add(u uint32) {
+	i := sort.Search(len(r.uses), func(i int) bool { return r.uses[i] >= u })
+	if i < len(r.uses) && r.uses[i] == u {
+		return
+	}
+	r.uses = append(r.uses, 0)
+	copy(r.uses[i+1:], r.uses[i:])
+	r.uses[i] = u
+}
 
 // NumUses returns the number of usages in the resource.
 func (r *Resource) NumUses() int { return len(r.uses) }
@@ -80,7 +95,7 @@ func (r *Resource) NumUses() int { return len(r.uses) }
 // Uses returns the usages sorted by (cycle, op).
 func (r *Resource) Uses() []U {
 	out := make([]U, 0, len(r.uses))
-	for e := range r.uses {
+	for _, e := range r.uses {
 		out = append(out, decodeU(e))
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -80,23 +80,16 @@ func SelectCover(m *forbidden.Matrix, G []*Resource, obj Objective) []Selected {
 	if err := obj.Validate(); err != nil {
 		panic(err)
 	}
-	numOps, span := m.NumOps, m.Span
+	span := m.Span
 
-	// Universe of non-negative forbidden triples.
-	var universe []int64
-	for x := 0; x < numOps; x++ {
-		for y := 0; y < numOps; y++ {
-			m.Set(x, y).ForEach(func(f int) bool {
-				if f >= 0 {
-					universe = append(universe, tcode(x, y, f, numOps, span))
-				}
-				return true
-			})
-		}
-	}
+	// Dense universe of non-negative forbidden triples: triple t is the
+	// dense index ti.index(x, y, f), and dense order equals tcode order, so
+	// tie-breaks below sort exactly as the sparse codes they replaced.
+	ti := newTripleIndex(m)
+	numT := ti.Len()
 
-	// Candidate usage pairs per triple.
-	cands := make(map[int64][]candidate)
+	// Candidate usage pairs per dense triple.
+	cands := make([][]candidate, numT)
 	for ri, r := range G {
 		us := r.Uses()
 		for _, ua := range us {
@@ -105,14 +98,22 @@ func SelectCover(m *forbidden.Matrix, G []*Resource, obj Objective) []Selected {
 				if f < 0 {
 					continue
 				}
-				t := tcode(ua.Op, ub.Op, f, numOps, span)
+				t := ti.index(ua.Op, ub.Op, f)
+				if t < 0 {
+					// A pair of an unsound resource generating a latency the
+					// machine allows; it can never cover anything.
+					continue
+				}
 				cands[t] = append(cands[t], candidate{ri, encodeU(ua.Op, ua.Cycle), encodeU(ub.Op, ub.Cycle)})
 			}
 		}
 	}
 
 	// Process uncovered triples in order of ascending candidate-list length.
-	order := append([]int64(nil), universe...)
+	order := make([]int32, numT)
+	for i := range order {
+		order[i] = int32(i)
+	}
 	sort.Slice(order, func(i, j int) bool {
 		li, lj := len(cands[order[i]]), len(cands[order[j]])
 		if li != lj {
@@ -121,7 +122,7 @@ func SelectCover(m *forbidden.Matrix, G []*Resource, obj Objective) []Selected {
 		return order[i] < order[j]
 	})
 
-	covered := make(map[int64]bool, len(universe))
+	covered := make([]bool, numT)
 	selected := make([]map[uint32]bool, len(G))
 	for i := range selected {
 		selected[i] = map[uint32]bool{}
@@ -145,8 +146,8 @@ func SelectCover(m *forbidden.Matrix, G []*Resource, obj Objective) []Selected {
 
 	// newlyCovered returns the uncovered triples that selecting the new
 	// usages in resource c.res would generate.
-	newlyCovered := func(res int, news []uint32) map[int64]struct{} {
-		out := map[int64]struct{}{}
+	newlyCovered := func(res int, news []uint32) map[int32]struct{} {
+		out := map[int32]struct{}{}
 		base := make([]uint32, 0, len(selected[res])+len(news))
 		for u := range selected[res] {
 			base = append(base, u)
@@ -155,8 +156,7 @@ func SelectCover(m *forbidden.Matrix, G []*Resource, obj Objective) []Selected {
 		addPair := func(a, b uint32) {
 			ua, ub := decodeU(a), decodeU(b)
 			if f := ub.Cycle - ua.Cycle; f >= 0 {
-				t := tcode(ua.Op, ub.Op, f, numOps, span)
-				if !covered[t] {
+				if t := ti.index(ua.Op, ub.Op, f); t >= 0 && !covered[t] {
 					out[t] = struct{}{}
 				}
 			}
@@ -184,10 +184,10 @@ func SelectCover(m *forbidden.Matrix, G []*Resource, obj Objective) []Selected {
 		return cost
 	}
 
-	sumF := func(ts map[int64]struct{}) int64 {
+	sumF := func(ts map[int32]struct{}) int64 {
 		var s int64
 		for t := range ts {
-			s += t % int64(span) // the f component
+			s += ti.code(t) % int64(span) // the f component
 		}
 		return s
 	}
@@ -203,7 +203,7 @@ func SelectCover(m *forbidden.Matrix, G []*Resource, obj Objective) []Selected {
 				continue
 			}
 			var free []uint32
-			for u := range G[ri].uses {
+			for _, u := range G[ri].uses {
 				if sel[u] {
 					continue
 				}
@@ -215,7 +215,7 @@ func SelectCover(m *forbidden.Matrix, G []*Resource, obj Objective) []Selected {
 			if len(free) == 0 {
 				continue
 			}
-			sort.Slice(free, func(i, j int) bool { return free[i] < free[j] })
+			// G[ri].uses is sorted, so free already is.
 			nc := newlyCovered(ri, free)
 			for _, u := range free {
 				sel[u] = true
@@ -232,12 +232,12 @@ func SelectCover(m *forbidden.Matrix, G []*Resource, obj Objective) []Selected {
 		}
 		cs := cands[t]
 		if len(cs) == 0 {
-			panic(fmt.Sprintf("core: forbidden latency triple %d has no candidate usage pair; generating set incomplete", t))
+			panic(fmt.Sprintf("core: forbidden latency triple %d has no candidate usage pair; generating set incomplete", ti.code(t)))
 		}
 		// Choose the best candidate under the objective.
 		bestIdx := -1
 		var bestNews []uint32
-		var bestCov map[int64]struct{}
+		var bestCov map[int32]struct{}
 		var bestWordCost int
 		var bestSum int64
 		for i, c := range cs {

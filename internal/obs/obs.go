@@ -313,6 +313,34 @@ func (s Snapshot) Filter(scopes ...string) Snapshot {
 	return out
 }
 
+// Exclude returns the snapshot without metrics whose name starts with
+// one of the given scope prefixes (prefix match on "<scope>.") — the
+// complement of Filter. Determinism tests use it to drop wall-time
+// histograms, which legitimately vary run to run, before comparing
+// snapshots.
+func (s Snapshot) Exclude(scopes ...string) Snapshot {
+	in := func(name string) bool {
+		for _, sc := range scopes {
+			if strings.HasPrefix(name, sc+".") {
+				return true
+			}
+		}
+		return false
+	}
+	var out Snapshot
+	for _, c := range s.Counters {
+		if !in(c.Name) {
+			out.Counters = append(out.Counters, c)
+		}
+	}
+	for _, h := range s.Histograms {
+		if !in(h.Name) {
+			out.Histograms = append(out.Histograms, h)
+		}
+	}
+	return out
+}
+
 // Snapshot copies every registered metric.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()

@@ -148,3 +148,66 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 	ForEach(n, workers, func(i int) { out[i] = fn(i) })
 	return out
 }
+
+// ForEachState is ForEach for loops whose body needs scratch state that
+// is expensive to build: each worker calls newState once and reuses that
+// state for every index it steals, so the construction cost is per
+// worker, not per item. fn must leave the state reusable for the next
+// index. The serial path (workers <= 1) builds exactly one state and
+// runs in index order; panics propagate exactly as in ForEach.
+func ForEachState[S any](n, workers int, newState func() S, fn func(st S, i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n == 0 {
+			return
+		}
+		st := newState()
+		for i := 0; i < n; i++ {
+			fn(st, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var firstPanic atomic.Pointer[WorkerPanic]
+	var wg sync.WaitGroup
+	metered := obs.Enabled()
+	var perWorker []int64
+	if metered {
+		perWorker = make([]int64, workers)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					buf := make([]byte, 64<<10)
+					buf = buf[:runtime.Stack(buf, false)]
+					firstPanic.CompareAndSwap(nil, &WorkerPanic{Value: p, Stack: string(buf)})
+				}
+			}()
+			st := newState()
+			done := int64(0)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					break
+				}
+				fn(st, i)
+				done++
+			}
+			if metered {
+				perWorker[w] = done
+			}
+		}(w)
+	}
+	wg.Wait()
+	if p := firstPanic.Load(); p != nil {
+		panic(p)
+	}
+	if metered {
+		recordPool(perWorker, n)
+	}
+}

@@ -161,3 +161,63 @@ func TestMapDeterministicOrder(t *testing.T) {
 		}
 	}
 }
+
+func TestForEachStateCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 257
+		var hits [n]atomic.Int64
+		var states atomic.Int64
+		ForEachState(n, workers,
+			func() *int { states.Add(1); v := new(int); return v },
+			func(st *int, i int) { *st++; hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, got)
+			}
+		}
+		// One state per actual worker, never more than min(workers, n) and
+		// at least one.
+		max := int64(workers)
+		if max > n {
+			max = n
+		}
+		if got := states.Load(); got < 1 || got > max {
+			t.Fatalf("workers=%d: %d states constructed, want 1..%d", workers, got, max)
+		}
+	}
+}
+
+func TestForEachStateSerialOrderAndZero(t *testing.T) {
+	called := false
+	ForEachState(0, 8, func() int { called = true; return 0 }, func(int, int) { called = true })
+	if called {
+		t.Error("newState or fn called for n=0")
+	}
+	var order []int
+	ForEachState(5, 1, func() int { return 7 }, func(st, i int) {
+		if st != 7 {
+			t.Fatalf("state = %d", st)
+		}
+		order = append(order, i)
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+}
+
+func TestForEachStatePanicPropagates(t *testing.T) {
+	defer func() {
+		p := recover()
+		wp, ok := p.(*WorkerPanic)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *WorkerPanic", p, p)
+		}
+		if wp.Value != "boom" {
+			t.Errorf("panic value = %v, want boom", wp.Value)
+		}
+	}()
+	ForEachState(64, 4, func() int { return 0 }, func(_ int, i int) { panicAtSeven(i) })
+	t.Fatal("panic did not propagate")
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/query"
@@ -80,6 +81,8 @@ const maxModuloCycle = 1 << 30
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	obs.Inc("serve.batch.requests")
+	start := time.Now()
+	defer func() { obs.Observe("serve.batch.latency", time.Since(start).Microseconds()) }()
 	var req BatchRequest
 	if !decodeJSON(w, r, &req) {
 		return

@@ -228,6 +228,8 @@ type ReduceResponse struct {
 
 func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 	obs.Inc("serve.reduce.requests")
+	start := time.Now()
+	defer func() { obs.Observe("serve.reduce.latency", time.Since(start).Microseconds()) }()
 	var req ReduceRequest
 	if !decodeJSON(w, r, &req) {
 		return

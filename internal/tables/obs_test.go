@@ -14,6 +14,8 @@ import (
 // resulting snapshot restricted to the worker-count-invariant scopes.
 // parallel.* is deliberately excluded: tasks_per_worker and imbalance
 // describe pool shape and legitimately change with the worker count.
+// core.stage.* wall-time histograms are excluded for the same reason:
+// stage durations vary run to run.
 func obsRun(t *testing.T, fn func()) obs.Snapshot {
 	t.Helper()
 	r := obs.Default()
@@ -24,7 +26,7 @@ func obsRun(t *testing.T, fn func()) obs.Snapshot {
 		r.Reset()
 	}()
 	fn()
-	return r.Snapshot().Filter("query", "sched", "core")
+	return r.Snapshot().Filter("query", "sched", "core").Exclude("core.stage")
 }
 
 // TestInstrumentedRunsStayDeterministic pins the two halves of the
