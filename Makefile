@@ -9,12 +9,14 @@
 #   make metrics     regenerate metrics.json and sanity-check its scopes
 #   make bench-json  regenerate BENCH_parallel.json on this host
 #   make bench-reduction  regenerate BENCH_reduction.json on this host
+#   make bench-sched      regenerate BENCH_sched.json on this host
 #   make bench-compare    re-measure and gate against BENCH_reduction.json
+#                         and BENCH_sched.json
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet bench bench-json bench-reduction bench-compare bench-alloc metrics fuzz-smoke serve-smoke check verify clean
+.PHONY: all build test race vet bench bench-json bench-reduction bench-sched bench-compare bench-alloc metrics fuzz-smoke serve-smoke check verify clean
 
 all: build test
 
@@ -63,13 +65,23 @@ bench-json:
 bench-reduction:
 	$(GO) run ./cmd/paper -bench-reduction BENCH_reduction.json
 
-# Non-tier-1 perf smoke: re-measure the per-stage report and fail if any
-# stage regressed more than 20% against the committed baseline. Wall-time
-# gating is inherently host-sensitive, which is why this stays out of
-# `make check`.
+# Scheduler slot-scan wall time: the full IMS loop corpus per Table 6
+# representation, range-query scan (serial_ns, the gated column) vs the
+# naive per-cycle scan (parallel_ns). Commits the baseline bench-compare
+# gates against; regenerate deliberately when the scheduler or query
+# layer legitimately changes.
+bench-sched:
+	$(GO) run ./cmd/paper -bench-sched BENCH_sched.json
+
+# Non-tier-1 perf smoke: re-measure the per-stage and scheduler reports
+# and fail if anything regressed more than 20% against the committed
+# baselines. Wall-time gating is inherently host-sensitive, which is why
+# this stays out of `make check`.
 bench-compare:
 	$(GO) run ./cmd/paper -bench-reduction /tmp/BENCH_reduction.current.json
 	$(GO) run ./cmd/benchgate -baseline BENCH_reduction.json -current /tmp/BENCH_reduction.current.json
+	$(GO) run ./cmd/paper -bench-sched /tmp/BENCH_sched.current.json
+	$(GO) run ./cmd/benchgate -baseline BENCH_sched.json -current /tmp/BENCH_sched.current.json
 
 # Brief runs of the native fuzz targets. FuzzReducePreservesF fuzzes the
 # paper's theorem (reduction preserves the forbidden-latency matrix);

@@ -12,13 +12,22 @@ import (
 	"repro/internal/tables"
 )
 
-// benchEntry is one serial-vs-parallel wall-time comparison.
+// benchEntry is one serial-vs-parallel wall-time comparison. The
+// scheduler report (BENCH_sched.json) reuses the schema with serial_ns
+// holding the range-scan corpus time, parallel_ns the naive per-cycle
+// scan, and the two per-decision probe statistics filled in; benchgate
+// ignores fields it does not know.
 type benchEntry struct {
 	Name       string  `json:"name"`
 	Workers    int     `json:"workers"`
 	SerialNS   int64   `json:"serial_ns"`
 	ParallelNS int64   `json:"parallel_ns"`
 	Speedup    float64 `json:"speedup"`
+	// CheckEquivPerDecision is the naive-equivalent per-cycle probe count
+	// per scheduling decision; RangeWorkPerDecision the packed words or
+	// reserved-table cells the range scan examined per decision.
+	CheckEquivPerDecision float64 `json:"check_equiv_per_decision,omitempty"`
+	RangeWorkPerDecision  float64 `json:"range_work_per_decision,omitempty"`
 }
 
 // benchReport is the BENCH_parallel.json schema: the host's parallelism

@@ -55,6 +55,7 @@ func main() {
 		nParallel = flag.Int("parallel", 0, "worker-pool size for per-loop scheduling (0 = GOMAXPROCS, 1 = serial)")
 		benchJSON = flag.String("bench-json", "", "measure serial-vs-parallel wall time and write the report to this file (e.g. BENCH_parallel.json)")
 		benchRed  = flag.String("bench-reduction", "", "measure per-stage reduction wall time and write the report to this file (e.g. BENCH_reduction.json)")
+	benchSch  = flag.String("bench-sched", "", "time the IMS corpus per representation, range scan vs naive scan, and write the report to this file (e.g. BENCH_sched.json)")
 		metrics   = flag.String("metrics", "", "enable the observability layer and write a JSON metrics snapshot to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
@@ -77,6 +78,13 @@ func main() {
 	}
 	if *benchRed != "" {
 		if err := runBenchReduction(*benchRed, workers); err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchSch != "" {
+		if err := runBenchSched(*benchSch, workers, *loops); err != nil {
 			fmt.Fprintln(os.Stderr, "paper:", err)
 			os.Exit(1)
 		}

@@ -222,13 +222,14 @@ func TestQuickRecMIIMonotone(t *testing.T) {
 		if mii < 1 {
 			return false
 		}
-		if !g.feasibleII(mii) {
+		scratch := make([]int64, len(g.Nodes)*len(g.Nodes))
+		if !g.feasibleII(mii, scratch) {
 			return false
 		}
-		if mii > 1 && g.feasibleII(mii-1) {
+		if mii > 1 && g.feasibleII(mii-1, scratch) {
 			return false
 		}
-		return g.feasibleII(mii + 7)
+		return g.feasibleII(mii+7, scratch)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)

@@ -25,4 +25,18 @@ func (mu MachineUsage) Uses(op, alt, resource int) int {
 	return n
 }
 
-var _ UsageCounter = MachineUsage{}
+// FillUses implements UsageFiller: one pass over the alternative's usage
+// list instead of one Uses scan per resource.
+func (mu MachineUsage) FillUses(op, alt int, us []int) {
+	for i := range us {
+		us[i] = 0
+	}
+	for _, u := range mu.M.Ops[op].Alts[alt].Uses {
+		us[u.Resource]++
+	}
+}
+
+var (
+	_ UsageCounter = MachineUsage{}
+	_ UsageFiller  = MachineUsage{}
+)

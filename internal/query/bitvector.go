@@ -35,14 +35,17 @@ type Bitvector struct {
 	wordBits int
 	cycMask  uint64 // low nRes bits
 
-	// Linear: packed[op][alignment], sorted by word; reserved[w] covers
-	// cycles [w*k, (w+1)*k).
+	// packed[op][alignment], sorted by word: the table placed a cycles
+	// into its base word, so a probe at cycle t ANDs packed[op][t%k]
+	// word-aligned against the reserved words starting at t/k. Linear
+	// tables grow reserved[w] (covering cycles [w*k, (w+1)*k)) on demand.
 	packed   [][][]packedWord
 	reserved []uint64
 
-	// Modulo: packed0[op] is the alignment-0 packing of the folded table;
-	// mirror covers cycles [0, 2*II) (both images kept in sync) so any
-	// k-cycle window starting in [0, II) is read from two adjacent words.
+	// Modulo: packed0[op] is the alignment-0 packing of the folded table
+	// (what Check/Assign start from); mirror covers cycles [0, 2*II)
+	// (both images kept in sync) so any k-cycle window starting in
+	// [0, II) is read from adjacent words without wraparound.
 	packed0 [][]packedWord
 	mirror  []uint64
 
@@ -86,25 +89,17 @@ func NewBitvector(e *resmodel.Expanded, k, wordBits, ii int) (*Bitvector, error)
 		k = ii // a word may not cover more cycles than the MRT has columns
 	}
 	b := &Bitvector{
-		e: e, c: compile(e, ii), ii: ii, nRes: nRes, k: k, wordBits: wordBits,
+		e: e, c: compileFor(e, ii), ii: ii, nRes: nRes, k: k, wordBits: wordBits,
 		cycMask: uint64(1)<<uint(nRes) - 1,
 		inst:    map[int]instance{},
 		met:     newModuleObs("bitvector"),
 	}
+	pt := b.c.packsFor(nRes, k)
+	b.packed = pt.packed
 	if ii > 0 {
-		b.packed0 = make([][]packedWord, len(e.Ops))
-		for oi := range e.Ops {
-			b.packed0[oi] = packUses(b.c.uses[oi], nRes, k, 0)
-		}
+		b.packed0 = pt.packed0
 		b.mirror = make([]uint64, (2*ii+k-1)/k+2)
 	} else {
-		b.packed = make([][][]packedWord, len(e.Ops))
-		for oi := range e.Ops {
-			b.packed[oi] = make([][]packedWord, k)
-			for a := 0; a < k; a++ {
-				b.packed[oi][a] = packUses(b.c.uses[oi], nRes, k, a)
-			}
-		}
 		b.reserved = make([]uint64, (b.c.maxSpan()+16)/k+2)
 	}
 	return b, nil
@@ -275,7 +270,15 @@ func (b *Bitvector) check(op, cycle int) bool {
 	for _, w := range b.packed[op][a] {
 		b.ctr.CheckWork++
 		wi := base + w.Word
-		if wi < len(b.reserved) && b.reserved[wi]&w.Bits != 0 {
+		if wi >= len(b.reserved) {
+			// Words are sorted, so this word and every later one lie
+			// beyond the reserved table and are trivially free. The
+			// comparison that discovered that is the one work unit
+			// charged above — mirroring the modulo path, where every
+			// probed word costs exactly one unit.
+			break
+		}
+		if b.reserved[wi]&w.Bits != 0 {
 			return false
 		}
 	}

@@ -29,7 +29,7 @@ func NewDiscrete(e *resmodel.Expanded, ii int) *Discrete {
 	if ii < 0 {
 		panic(fmt.Sprintf("query: NewDiscrete: negative II %d", ii))
 	}
-	d := &Discrete{e: e, c: compile(e, ii), ii: ii, nRes: len(e.Resources), inst: map[int]instance{},
+	d := &Discrete{e: e, c: compileFor(e, ii), ii: ii, nRes: len(e.Resources), inst: map[int]instance{},
 		met: newModuleObs("discrete")}
 	if ii > 0 {
 		d.width = ii

@@ -25,7 +25,9 @@ func (f *fnObs) observe(work int64) {
 // tests and ReportAllocs benchmarks in this package).
 type moduleObs struct {
 	check, assign, assignFree, free fnObs
+	firstFree                       fnObs
 	checkWithAlt                    *obs.Counter
+	firstFreeWithAlt                *obs.Counter
 	evictions                      *obs.Counter
 	modeTransitions                *obs.Counter
 }
@@ -42,13 +44,15 @@ func newModuleObs(kind string) *moduleObs {
 		return fnObs{calls: s.Counter(name + ".calls"), probe: s.Histogram(name + ".probe")}
 	}
 	return &moduleObs{
-		check:           fn("check"),
-		assign:          fn("assign"),
-		assignFree:      fn("assign_free"),
-		free:            fn("free"),
-		checkWithAlt:    s.Counter("check_with_alt.calls"),
-		evictions:       s.Counter("evictions"),
-		modeTransitions: s.Counter("mode_transitions"),
+		check:            fn("check"),
+		assign:           fn("assign"),
+		assignFree:       fn("assign_free"),
+		free:             fn("free"),
+		firstFree:        fn("firstfree"),
+		checkWithAlt:     s.Counter("check_with_alt.calls"),
+		firstFreeWithAlt: s.Counter("first_free_with_alt.calls"),
+		evictions:        s.Counter("evictions"),
+		modeTransitions:  s.Counter("mode_transitions"),
 	}
 }
 
@@ -86,6 +90,23 @@ func (m *moduleObs) onCheckWithAlt() {
 		return
 	}
 	m.checkWithAlt.Inc()
+}
+
+// onFirstFree records one range query and its work units under
+// query.<kind>.firstfree.calls/.probe (per-op probe lengths — the
+// ISSUE's per-op firstfree.probes histogram).
+func (m *moduleObs) onFirstFree(work int64) {
+	if m == nil {
+		return
+	}
+	m.firstFree.observe(work)
+}
+
+func (m *moduleObs) onFirstFreeWithAlt() {
+	if m == nil {
+		return
+	}
+	m.firstFreeWithAlt.Inc()
 }
 
 func (m *moduleObs) onModeTransition() {

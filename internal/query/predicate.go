@@ -68,7 +68,7 @@ func NewPredicated(e *resmodel.Expanded, ps *PredSet, ii int) *Predicated {
 	if ii < 0 {
 		panic("query: negative II")
 	}
-	p := &Predicated{e: e, c: compile(e, ii), ps: ps, ii: ii, nRes: len(e.Resources), inst: map[int]instance{}}
+	p := &Predicated{e: e, c: compileFor(e, ii), ps: ps, ii: ii, nRes: len(e.Resources), inst: map[int]instance{}}
 	if ii > 0 {
 		p.width = ii
 	} else {

@@ -76,6 +76,18 @@ type Counters struct {
 	AssignFreeCalls, AssignFreeWork int64
 	FreeCalls, FreeWork             int64
 	CheckWithAltCalls               int64
+	// FirstFreeCalls and FirstFreeWithAltCalls count range queries
+	// (RangeQuerier); FirstFreeWork is their work units — packed words or
+	// reserved-table cells examined, exactly like CheckWork.
+	// FirstFreeCycles is the number of per-cycle check probes a naive
+	// Check/CheckWithAlt loop would have issued to answer the same range
+	// query (candidate cycles scanned times alternatives tried), so
+	// (CheckWork+FirstFreeWork)/(CheckCalls+FirstFreeCycles) remains the
+	// paper's res-uses/word-uses-per-check metric whichever scan the
+	// scheduler uses.
+	FirstFreeCalls, FirstFreeWork int64
+	FirstFreeCycles               int64
+	FirstFreeWithAltCalls         int64
 	// ModeTransitions counts optimistic-to-update transitions of the
 	// bitvector assign&free (always 0 for discrete modules).
 	ModeTransitions int64

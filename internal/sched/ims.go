@@ -38,6 +38,12 @@ type Config struct {
 	BudgetRatio int
 	// MaxII caps the initiation-interval search; 0 derives a safe cap.
 	MaxII int
+	// NaiveScan disables the range-query slot scan even when the module
+	// supports it, probing candidate cycles one CheckWithAlt at a time.
+	// Schedules are byte-identical either way (the range scan preserves
+	// probe order exactly); the flag exists for differential tests and
+	// for benchmarking the scan strategies against each other.
+	NaiveScan bool
 }
 
 // DefaultConfig returns the paper's configuration (budget 6N).
@@ -74,7 +80,16 @@ type Result struct {
 	// ChecksPerDecision records, for every scheduling decision, how many
 	// check queries the time-slot search issued (Section 8: "on average,
 	// the scheduler issues 4.74 check queries per scheduling decision").
+	// Under the range-query scan this counts the per-cycle probes the
+	// equivalent naive loop would have issued, so the statistic is
+	// identical whichever scan strategy answered the search.
 	ChecksPerDecision []int
+	// ScanWidths records, for every scheduling decision, how many
+	// candidate cycles the time-slot search covered: slot-estart+1 when a
+	// slot was found, the full II-wide window otherwise. A width above 1
+	// is a window the word-parallel scan can rule out in fewer passes
+	// than the naive per-cycle probe.
+	ScanWidths []int
 }
 
 // Schedule modulo-schedules the loop g for machine m, issuing all
@@ -141,6 +156,7 @@ type state struct {
 
 	ii        int
 	mod       query.Module
+	rq        query.RangeQuerier // non-nil when mod supports range scans
 	height    []int
 	time      []int // -1 = unscheduled
 	alt       []int
@@ -155,6 +171,10 @@ func (s *state) attempt(ii int, mod query.Module) bool {
 	g := s.g
 	n := len(g.Nodes)
 	s.ii, s.mod = ii, mod
+	s.rq = nil
+	if !s.cfg.NaiveScan {
+		s.rq, _ = mod.(query.RangeQuerier)
+	}
 
 	// Every operation must have at least one alternative that does not
 	// fold onto itself at this II.
@@ -183,10 +203,14 @@ func (s *state) attempt(ii int, mod query.Module) bool {
 			return false
 		}
 		v := s.pop()
-		c0 := mod.Counters().CheckCalls
+		ctr := mod.Counters()
+		c0 := ctr.CheckCalls + ctr.FirstFreeCycles
 		estart := s.earlyStart(v)
 		timeSlot, altOp, found := s.findTimeSlot(v, estart, estart+ii-1)
-		if !found {
+		width := ii
+		if found {
+			width = timeSlot - estart + 1
+		} else {
 			// Forced placement (Rau): at estart the first time, otherwise
 			// just after the previous placement.
 			timeSlot = estart
@@ -198,7 +222,8 @@ func (s *state) attempt(ii int, mod query.Module) bool {
 		s.place(v, timeSlot, altOp)
 		budget--
 		s.res.Decisions++
-		s.res.ChecksPerDecision = append(s.res.ChecksPerDecision, int(mod.Counters().CheckCalls-c0))
+		s.res.ChecksPerDecision = append(s.res.ChecksPerDecision, int(ctr.CheckCalls+ctr.FirstFreeCycles-c0))
+		s.res.ScanWidths = append(s.res.ScanWidths, width)
 	}
 	return true
 }
@@ -265,9 +290,20 @@ func (s *state) earlyStart(v int) int {
 }
 
 // findTimeSlot searches [minT, maxT] for the first contention-free slot
-// for v or any of its alternatives.
+// for v or any of its alternatives. When the module supports range
+// queries the whole window is answered in one word-parallel (or
+// row-scan) call; the fallback probes one CheckWithAlt per cycle. Both
+// return the same first feasible cycle with the same alternative-group
+// tie-break, so the choice of scan never changes a schedule.
 func (s *state) findTimeSlot(v, minT, maxT int) (int, int, bool) {
 	origOp := s.g.Nodes[v].Op
+	if s.rq != nil {
+		op, t, ok := s.rq.FirstFreeWithAlt(origOp, minT, maxT)
+		if !ok {
+			return 0, 0, false
+		}
+		return t, op, true
+	}
 	for t := minT; t <= maxT; t++ {
 		if op, ok := s.mod.CheckWithAlt(origOp, t); ok {
 			return t, op, true

@@ -360,3 +360,97 @@ func TestAttemptDecisionsRecorded(t *testing.T) {
 		}
 	}
 }
+
+// TestRangeScanMatchesNaiveScan pins the tentpole guarantee on the full
+// 1327-loop corpus: the word-parallel range scan and the naive
+// per-cycle CheckWithAlt scan produce byte-identical schedules — same
+// II, same placements, same alternatives, same per-decision statistics
+// — at workers 1 and 8, on both reserved-table representations.
+func TestRangeScanMatchesNaiveScan(t *testing.T) {
+	m := machines.Cydra5()
+	e := m.Expand()
+	k := query.MaxCyclesPerWord(len(e.Resources), 64)
+	if k < 1 {
+		k = 1
+	}
+	loops, err := loopgen.Generate(m, loopgen.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testing.Short() {
+		loops = loops[:150]
+	}
+	factories := map[string]ModuleFactory{
+		"discrete": discreteFactory(e),
+		"bitvec":   bitvecFactory(e, k),
+	}
+	for name, f := range factories {
+		factory := func(int) ModuleFactory { return f }
+		naive := ScheduleBatch(loops, m, factory, Config{BudgetRatio: 6, NaiveScan: true}, 1)
+		for _, workers := range []int{1, 8} {
+			ranged := ScheduleBatch(loops, m, factory, Config{BudgetRatio: 6}, workers)
+			for i, r := range ranged {
+				ref := naive[i]
+				if r.OK != ref.OK || r.II != ref.II || r.Decisions != ref.Decisions ||
+					r.Reversed != ref.Reversed || r.Attempts != ref.Attempts {
+					t.Fatalf("%s workers=%d %s: range scan diverged: OK %v/%v II %d/%d decisions %d/%d",
+						name, workers, loops[i].Name, r.OK, ref.OK, r.II, ref.II, r.Decisions, ref.Decisions)
+				}
+				for v := range r.Time {
+					if r.Time[v] != ref.Time[v] || r.Alt[v] != ref.Alt[v] {
+						t.Fatalf("%s workers=%d %s: node %d placed at %d (alt %d), naive %d (alt %d)",
+							name, workers, loops[i].Name, v, r.Time[v], r.Alt[v], ref.Time[v], ref.Alt[v])
+					}
+				}
+				if len(r.ChecksPerDecision) != len(ref.ChecksPerDecision) {
+					t.Fatalf("%s workers=%d %s: %d checks-per-decision entries, naive %d",
+						name, workers, loops[i].Name, len(r.ChecksPerDecision), len(ref.ChecksPerDecision))
+				}
+				for j := range r.ChecksPerDecision {
+					if r.ChecksPerDecision[j] != ref.ChecksPerDecision[j] {
+						t.Fatalf("%s workers=%d %s: decision %d issued %d checks, naive %d",
+							name, workers, loops[i].Name, j, r.ChecksPerDecision[j], ref.ChecksPerDecision[j])
+					}
+				}
+				if len(r.ScanWidths) != r.Decisions {
+					t.Fatalf("%s workers=%d %s: %d scan widths for %d decisions",
+						name, workers, loops[i].Name, len(r.ScanWidths), r.Decisions)
+				}
+			}
+		}
+	}
+}
+
+// benchmarkIMSCorpus schedules a slice of the loop corpus on the
+// reduced 3-cycle-word bitvector — the BENCH_sched.json headline pair,
+// here as a Go benchmark so the two scan strategies can be compared
+// under -benchtime averaging and profiled with -cpuprofile.
+func benchmarkIMSCorpus(b *testing.B, cfg Config) {
+	m := machines.Cydra5()
+	red := core.Reduce(m.Expand(), core.Objective{Kind: core.KCycleWord, K: 3})
+	if err := red.Verify(); err != nil {
+		b.Fatal(err)
+	}
+	factory := bitvecFactory(red.Reduced, 3)
+	loops, err := loopgen.Generate(m, loopgen.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	loops = loops[:200]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range ScheduleBatch(loops, m, func(int) ModuleFactory { return factory }, cfg, 1) {
+			if !r.OK {
+				b.Fatal("corpus loop failed to schedule")
+			}
+		}
+	}
+}
+
+func BenchmarkIMSCorpusRangeScan(b *testing.B) {
+	benchmarkIMSCorpus(b, Config{BudgetRatio: 6})
+}
+
+func BenchmarkIMSCorpusNaiveScan(b *testing.B) {
+	benchmarkIMSCorpus(b, Config{BudgetRatio: 6, NaiveScan: true})
+}

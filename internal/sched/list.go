@@ -122,6 +122,7 @@ func ListSchedule(g *ddg.Graph, e *resmodel.Expanded, iss Issuer) (ListResult, e
 			}
 			return a < b
 		})
+		issued := false
 		for _, v := range ready {
 			for _, altOp := range e.AltGroup[g.Nodes[v].Op] {
 				if iss.TryIssue(altOp) {
@@ -129,12 +130,33 @@ func ListSchedule(g *ddg.Graph, e *resmodel.Expanded, iss Issuer) (ListResult, e
 					res.Alt[v] = altOp
 					placed[v] = true
 					remaining--
+					issued = true
 					break
 				}
 			}
 		}
 		iss.Advance()
 		res.Cycles = cycle + 1
+		// Empty cycle on a range-capable module backend: nothing can
+		// issue until either a blocked ready node's first contention-free
+		// cycle or a dependence-pending node's earliest start, so jump
+		// straight there. Every skipped cycle provably issues nothing
+		// (the partial schedule is unchanged, so the ready set and every
+		// contention answer in between are too), keeping the schedule —
+		// and the final cycle count — byte-identical to the one-cycle-at-
+		// a-time walk. Automaton backends advance cycle by cycle (their
+		// per-cycle state transition cannot be skipped).
+		if !issued && remaining > 0 {
+			if mi, ok := iss.(*ModuleIssuer); ok {
+				if rq, ok := mi.M.(query.RangeQuerier); ok {
+					next := fastForwardTarget(g, e, preds, time, placed, rq, cycle)
+					if next > cycle+1 {
+						mi.cycle = next
+						cycle = next - 1
+					}
+				}
+			}
+		}
 	}
 	copy(res.Time, time)
 	for v := 0; v < n; v++ {
@@ -143,4 +165,51 @@ func ListSchedule(g *ddg.Graph, e *resmodel.Expanded, iss Issuer) (ListResult, e
 		}
 	}
 	return res, nil
+}
+
+// fastForwardTarget returns the earliest cycle after an empty cycle at
+// which the list scheduler's state can change: the smallest earliest
+// start among dependence-pending nodes whose predecessors are all
+// placed, or the smallest first contention-free cycle among any ready
+// node's alternatives. -1 means nothing can ever issue; the caller then
+// advances normally and runs into the safety valve exactly as the naive
+// walk would.
+func fastForwardTarget(g *ddg.Graph, e *resmodel.Expanded, preds [][]ddg.Edge,
+	time []int, placed []bool, rq query.RangeQuerier, cycle int) int {
+	next := -1
+	take := func(t int) {
+		if next < 0 || t < next {
+			next = t
+		}
+	}
+	for v := range g.Nodes {
+		if placed[v] {
+			continue
+		}
+		est, ok := 0, true
+		for _, edge := range preds[v] {
+			if time[edge.From] < 0 {
+				ok = false
+				break
+			}
+			if t := time[edge.From] + edge.Delay; t > est {
+				est = t
+			}
+		}
+		if !ok {
+			continue
+		}
+		if est > cycle {
+			take(est)
+			continue
+		}
+		// Ready but resource-blocked this cycle: the next cycle any of
+		// its alternatives fits. The high bound mirrors the safety valve.
+		for _, altOp := range e.AltGroup[g.Nodes[v].Op] {
+			if t, found := rq.FirstFree(altOp, cycle+1, 100001); found {
+				take(t)
+			}
+		}
+	}
+	return next
 }

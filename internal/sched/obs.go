@@ -33,4 +33,11 @@ func observeSchedule(r *Result) {
 	for _, c := range r.ChecksPerDecision {
 		checks.Observe(int64(c))
 	}
+	// The candidate-cycle window each time-slot search covered; widths
+	// above 1 are the multi-cycle eliminations the word-parallel range
+	// scan answers in a single pass over the packed words.
+	widths := s.Histogram("scan.width")
+	for _, w := range r.ScanWidths {
+		widths.Observe(int64(w))
+	}
 }

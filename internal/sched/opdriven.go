@@ -72,6 +72,11 @@ func OperationDriven(g *ddg.Graph, e *resmodel.Expanded, mod query.Module) (List
 		return res, fmt.Errorf("sched: graph is cyclic")
 	}
 
+	// Reservation-table modules answer the whole slot search with one
+	// range query; backends without range support (the automaton
+	// PairModule) keep the per-cycle probe. Both find the same first
+	// feasible cycle with the same alternative tie-break.
+	rq, _ := mod.(query.RangeQuerier)
 	id := 0
 	for _, v := range order {
 		estart := 0
@@ -79,6 +84,18 @@ func OperationDriven(g *ddg.Graph, e *resmodel.Expanded, mod query.Module) (List
 			if t := time[edge.From] + edge.Delay; t > estart {
 				estart = t
 			}
+		}
+		if rq != nil {
+			op, t, ok := rq.FirstFreeWithAlt(g.Nodes[v].Op, estart, estart+100000)
+			if !ok {
+				return res, fmt.Errorf("sched: no slot found for node %d", v)
+			}
+			mod.Assign(op, t, id)
+			id++
+			time[v] = t
+			res.Alt[v] = op
+			placed[v] = true
+			continue
 		}
 		found := false
 		for t := estart; !found; t++ {

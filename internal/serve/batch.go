@@ -35,22 +35,30 @@ type BatchRequest struct {
 
 // BatchOp is one query of a batch.
 type BatchOp struct {
-	// Fn is "check", "assign", "assign_free", "free" or "check_with_alt".
+	// Fn is "check", "assign", "assign_free", "free", "check_with_alt",
+	// "first_free" or "first_free_alt".
 	Fn string `json:"fn"`
-	// Op is the expanded-op index ("check_with_alt": the original-op index).
+	// Op is the expanded-op index ("check_with_alt", "first_free_alt":
+	// the original-op index).
 	Op int `json:"op"`
-	// Cycle is the schedule cycle.
+	// Cycle is the schedule cycle (unused by the range queries).
 	Cycle int `json:"cycle"`
+	// Lo and Hi bound the inclusive cycle range of "first_free" and
+	// "first_free_alt".
+	Lo int `json:"lo,omitempty"`
+	Hi int `json:"hi,omitempty"`
 	// ID is the instance id ("assign", "assign_free", "free").
 	ID int `json:"id,omitempty"`
 }
 
 // BatchResult is the answer to one BatchOp. Check-like ops set OK;
-// check_with_alt additionally sets AltOp on success; assign_free lists
-// the evicted instance ids (omitted when none).
+// check_with_alt and first_free_alt additionally set AltOp on success;
+// the range queries set Cycle to the first contention-free cycle found;
+// assign_free lists the evicted instance ids (omitted when none).
 type BatchResult struct {
 	OK      *bool `json:"ok,omitempty"`
 	AltOp   *int  `json:"alt_op,omitempty"`
+	Cycle   *int  `json:"cycle,omitempty"`
 	Evicted []int `json:"evicted,omitempty"`
 }
 
@@ -171,6 +179,27 @@ func (s *Server) execBatch(r *http.Request, sess *session, req *BatchRequest) (*
 		}
 		return nil
 	}
+	// checkRange validates a first_free window: both bounds obey the same
+	// cycle caps as per-cycle queries, and the range must be non-empty
+	// (lo <= hi) so a client typo cannot silently read back "no slot".
+	checkRange := func(i int, op BatchOp) *httpError {
+		if op.Lo > op.Hi {
+			return errf(http.StatusBadRequest, "op %d: empty cycle range [%d, %d]", i, op.Lo, op.Hi)
+		}
+		for _, c := range [2]int{op.Lo, op.Hi} {
+			if req.II > 0 {
+				if c < -maxModuloCycle || c > maxModuloCycle {
+					return errf(http.StatusBadRequest, "op %d: range bound %d out of range on modulo table", i, c)
+				}
+				continue
+			}
+			if c < 0 || c > s.cfg.MaxCycle {
+				return errf(http.StatusBadRequest, "op %d: range bound %d out of range [0, %d] on linear table", i, c, s.cfg.MaxCycle)
+			}
+		}
+		return nil
+	}
+	rq, _ := mod.(query.RangeQuerier)
 
 	for i, op := range req.Ops {
 		// A long batch re-checks its deadline periodically so a drained
@@ -198,6 +227,39 @@ func (s *Server) execBatch(r *http.Request, sess *session, req *BatchRequest) (*
 			res := BatchResult{OK: &ok}
 			if ok {
 				res.AltOp = &alt
+			}
+			results = append(results, res)
+		case "first_free":
+			if rq == nil {
+				return nil, errf(http.StatusBadRequest, "op %d: representation %q does not support range queries", i, rep)
+			}
+			if op.Op < 0 || op.Op >= len(e.Ops) {
+				return nil, errf(http.StatusBadRequest, "op %d: expanded-op index %d out of range [0, %d)", i, op.Op, len(e.Ops))
+			}
+			if herr := checkRange(i, op); herr != nil {
+				return nil, herr
+			}
+			cycle, ok := rq.FirstFree(op.Op, op.Lo, op.Hi)
+			res := BatchResult{OK: &ok}
+			if ok {
+				res.Cycle = &cycle
+			}
+			results = append(results, res)
+		case "first_free_alt":
+			if rq == nil {
+				return nil, errf(http.StatusBadRequest, "op %d: representation %q does not support range queries", i, rep)
+			}
+			if op.Op < 0 || op.Op >= len(e.AltGroup) {
+				return nil, errf(http.StatusBadRequest, "op %d: original-op index %d out of range [0, %d)", i, op.Op, len(e.AltGroup))
+			}
+			if herr := checkRange(i, op); herr != nil {
+				return nil, herr
+			}
+			alt, cycle, ok := rq.FirstFreeWithAlt(op.Op, op.Lo, op.Hi)
+			res := BatchResult{OK: &ok}
+			if ok {
+				res.AltOp = &alt
+				res.Cycle = &cycle
 			}
 			results = append(results, res)
 		case "assign":
@@ -254,7 +316,7 @@ func (s *Server) execBatch(r *http.Request, sess *session, req *BatchRequest) (*
 			delete(live, op.ID)
 			results = append(results, BatchResult{})
 		default:
-			return nil, errf(http.StatusBadRequest, "op %d: bad fn %q (want check, assign, assign_free, free or check_with_alt)", i, op.Fn)
+			return nil, errf(http.StatusBadRequest, "op %d: bad fn %q (want check, assign, assign_free, free, check_with_alt, first_free or first_free_alt)", i, op.Fn)
 		}
 	}
 	return &BatchResponse{

@@ -53,13 +53,27 @@ func genSequence(rng *rand.Rand, e *resmodel.Expanded, probe query.Module, ii in
 		}
 		return rng.Intn(14)
 	}
+	rangeFor := func() (int, int) {
+		if ii > 0 {
+			lo := rng.Intn(6*ii) - 3*ii
+			return lo, lo + rng.Intn(3*ii+5)
+		}
+		lo := rng.Intn(16)
+		return lo, lo + rng.Intn(25)
+	}
 	for s := 0; s < steps; s++ {
-		switch r := rng.Intn(10); {
-		case r < 4: // check
+		switch r := rng.Intn(12); {
+		case r < 3: // check
 			ops = append(ops, BatchOp{Fn: "check", Op: rng.Intn(len(e.Ops)), Cycle: cycleFor()})
-		case r < 6: // check_with_alt
+		case r < 5: // check_with_alt
 			ops = append(ops, BatchOp{Fn: "check_with_alt", Op: rng.Intn(len(e.AltGroup)), Cycle: cycleFor()})
-		case r < 9: // place an op
+		case r < 6: // first_free
+			lo, hi := rangeFor()
+			ops = append(ops, BatchOp{Fn: "first_free", Op: rng.Intn(len(e.Ops)), Lo: lo, Hi: hi})
+		case r < 7: // first_free_alt
+			lo, hi := rangeFor()
+			ops = append(ops, BatchOp{Fn: "first_free_alt", Op: rng.Intn(len(e.AltGroup)), Lo: lo, Hi: hi})
+		case r < 11: // place an op
 			op, cyc := rng.Intn(len(e.Ops)), cycleFor()
 			if assignFree {
 				if !probe.Schedulable(op) {
@@ -109,6 +123,21 @@ func replayOps(mod query.Module, ops []BatchOp) []BatchResult {
 			res := BatchResult{OK: &ok}
 			if ok {
 				res.AltOp = &alt
+			}
+			results = append(results, res)
+		case "first_free":
+			cycle, ok := mod.(query.RangeQuerier).FirstFree(op.Op, op.Lo, op.Hi)
+			res := BatchResult{OK: &ok}
+			if ok {
+				res.Cycle = &cycle
+			}
+			results = append(results, res)
+		case "first_free_alt":
+			alt, cycle, ok := mod.(query.RangeQuerier).FirstFreeWithAlt(op.Op, op.Lo, op.Hi)
+			res := BatchResult{OK: &ok}
+			if ok {
+				res.AltOp = &alt
+				res.Cycle = &cycle
 			}
 			results = append(results, res)
 		case "assign":

@@ -62,6 +62,21 @@ func FuzzServeBatchDecode(f *testing.F) {
 		{Fn: "assign", Op: 0, Cycle: 0, ID: 1},
 		{Fn: "assign", Op: 0, Cycle: 0, ID: 1},
 	}}))
+	// Range-query seeds: a valid first_free/first_free_alt pair, an empty
+	// range (lo > hi), a negative bound on a linear table, a huge bound on
+	// a modulo table, and an out-of-range op index.
+	f.Add(mustJSON(BatchRequest{Machine: "example", Ops: []BatchOp{
+		{Fn: "assign", Op: 0, Cycle: 2, ID: 1},
+		{Fn: "first_free", Op: 0, Lo: 0, Hi: 12},
+		{Fn: "first_free_alt", Op: 0, Lo: 3, Hi: 9},
+	}}))
+	f.Add(mustJSON(BatchRequest{Machine: "example", Representation: "bitvector", II: 4, Ops: []BatchOp{
+		{Fn: "first_free", Op: 1, Lo: -3, Hi: 5},
+	}}))
+	f.Add(mustJSON(BatchRequest{Machine: "example", Ops: []BatchOp{{Fn: "first_free", Op: 0, Lo: 9, Hi: 2}}}))
+	f.Add(mustJSON(BatchRequest{Machine: "example", Ops: []BatchOp{{Fn: "first_free", Op: 0, Lo: -1, Hi: 5}}}))
+	f.Add(mustJSON(BatchRequest{Machine: "example", II: 3, Ops: []BatchOp{{Fn: "first_free_alt", Op: 0, Lo: 0, Hi: 1 << 40}}}))
+	f.Add(mustJSON(BatchRequest{Machine: "example", Ops: []BatchOp{{Fn: "first_free_alt", Op: 9999, Lo: 0, Hi: 5}}}))
 	f.Add([]byte(`{"machine":"example","ops":[{"fn":"check","op":0,"cycle":`))
 	f.Add([]byte(`[]`))
 	f.Add([]byte(`{"machine":"example","ops":"notalist"}`))

@@ -176,10 +176,19 @@ func ComputeTable6Workers(m *resmodel.Machine, loops []*ddg.Graph, reps []Repres
 			resourceRev += stats[i].resourceRev
 			checksPerDec = append(checksPerDec, stats[i].checksPerDec...)
 		}
+		// The scheduler's slot search answers through range queries when
+		// the module supports them; FirstFreeCycles is the number of
+		// per-cycle probes the equivalent naive loop would have issued
+		// and FirstFreeWork their work units, so folding them into the
+		// check row keeps Table 6's res-uses/word-uses-per-check metric
+		// — and the frequency column — identical whichever scan strategy
+		// the scheduler used.
+		checkCalls := total.CheckCalls + total.FirstFreeCycles
+		checkWork := total.CheckWork + total.FirstFreeWork
 		if ri == 0 {
 			t.Rows = []FuncRow{{Name: "check"}, {Name: "assign&free"}, {Name: "free"}}
-			calls := float64(total.CheckCalls + total.AssignFreeCalls + total.FreeCalls)
-			t.Rows[0].Freq = 100 * float64(total.CheckCalls) / calls
+			calls := float64(checkCalls + total.AssignFreeCalls + total.FreeCalls)
+			t.Rows[0].Freq = 100 * float64(checkCalls) / calls
 			t.Rows[1].Freq = 100 * float64(total.AssignFreeCalls) / calls
 			t.Rows[2].Freq = 100 * float64(total.FreeCalls) / calls
 			// Scheduler statistics from the first (reference) run.
@@ -211,11 +220,11 @@ func ComputeTable6Workers(m *resmodel.Machine, loops []*ddg.Graph, reps []Repres
 				t.ResourceReversePct = 100 * float64(resourceRev) / float64(reversed)
 			}
 		}
-		t.Rows[0].PerCall = append(t.Rows[0].PerCall, perCall(total.CheckWork, total.CheckCalls))
+		t.Rows[0].PerCall = append(t.Rows[0].PerCall, perCall(checkWork, checkCalls))
 		t.Rows[1].PerCall = append(t.Rows[1].PerCall, perCall(total.AssignFreeWork, total.AssignFreeCalls))
 		t.Rows[2].PerCall = append(t.Rows[2].PerCall, perCall(total.FreeWork, total.FreeCalls))
-		work := total.CheckWork + total.AssignFreeWork + total.FreeWork
-		calls := total.CheckCalls + total.AssignFreeCalls + total.FreeCalls
+		work := checkWork + total.AssignFreeWork + total.FreeWork
+		calls := checkCalls + total.AssignFreeCalls + total.FreeCalls
 		t.Weighted = append(t.Weighted, perCall(work, calls))
 	}
 	return t
@@ -238,6 +247,10 @@ func addCounters(dst, src *query.Counters) {
 	dst.FreeCalls += src.FreeCalls
 	dst.FreeWork += src.FreeWork
 	dst.CheckWithAltCalls += src.CheckWithAltCalls
+	dst.FirstFreeCalls += src.FirstFreeCalls
+	dst.FirstFreeWork += src.FirstFreeWork
+	dst.FirstFreeCycles += src.FirstFreeCycles
+	dst.FirstFreeWithAltCalls += src.FirstFreeWithAltCalls
 	dst.ModeTransitions += src.ModeTransitions
 	dst.Unscheduled += src.Unscheduled
 	dst.AssignFreeEvicting += src.AssignFreeEvicting
