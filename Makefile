@@ -10,13 +10,14 @@
 #   make bench-json  regenerate BENCH_parallel.json on this host
 #   make bench-reduction  regenerate BENCH_reduction.json on this host
 #   make bench-sched      regenerate BENCH_sched.json on this host
-#   make bench-compare    re-measure and gate against BENCH_reduction.json
-#                         and BENCH_sched.json
+#   make bench-throughput regenerate BENCH_throughput.json on this host
+#   make bench-compare    re-measure and gate against BENCH_reduction.json,
+#                         BENCH_sched.json and BENCH_throughput.json
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet bench bench-json bench-reduction bench-sched bench-compare bench-alloc metrics fuzz-smoke serve-smoke check verify clean
+.PHONY: all build test race vet bench bench-json bench-reduction bench-sched bench-throughput bench-compare bench-alloc metrics fuzz-smoke serve-smoke check verify clean
 
 all: build test
 
@@ -37,10 +38,13 @@ vet:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# The query hot-path benchmarks that pin the observability bargain:
-# metrics disabled must stay at 0 allocs/op.
+# The query hot-path benchmarks that pin the observability bargain
+# (metrics disabled must stay at 0 allocs/op) plus the arena pins:
+# module Reset and steady-state arena scheduling allocate nothing.
 bench-alloc:
 	$(GO) test -run '^$$' -bench 'BenchmarkCheck|BenchmarkAssign' -benchmem ./internal/query/
+	$(GO) test -run '^TestResetDoesNotAllocate$$' -count=1 -v ./internal/query/
+	$(GO) test -run '^TestArenaSteadyStateZeroAlloc$$' -count=1 -v ./internal/sched/
 
 # A machine-readable profile of a representative evaluation run (Table 6
 # exercises scheduling, reduction, the cache and the worker pool). The
@@ -73,15 +77,27 @@ bench-reduction:
 bench-sched:
 	$(GO) run ./cmd/paper -bench-sched BENCH_sched.json
 
-# Non-tier-1 perf smoke: re-measure the per-stage and scheduler reports
-# and fail if anything regressed more than 20% against the committed
-# baselines. Wall-time gating is inherently host-sensitive, which is why
-# this stays out of `make check`.
+# Streamed-corpus scheduler throughput: 100k stratified loops through
+# per-worker arenas, per representation x worker count. The headline
+# loops-per-second metric of the scheduling stack. Commits the baseline
+# bench-compare gates against; entries record the host shape, and
+# benchgate skips (not fails) entries measured under a different one.
+bench-throughput:
+	$(GO) run ./cmd/paper -bench-throughput BENCH_throughput.json
+
+# Non-tier-1 perf smoke: re-measure the per-stage, scheduler and
+# throughput reports and fail if anything regressed more than 20%
+# against the committed baselines. Wall-time gating is inherently
+# host-sensitive, which is why this stays out of `make check`. The
+# throughput re-measurement covers workers 1 and 8 only (the scaling
+# endpoints); the committed baseline keeps the full 1,2,4,8 sweep.
 bench-compare:
 	$(GO) run ./cmd/paper -bench-reduction /tmp/BENCH_reduction.current.json
 	$(GO) run ./cmd/benchgate -baseline BENCH_reduction.json -current /tmp/BENCH_reduction.current.json
 	$(GO) run ./cmd/paper -bench-sched /tmp/BENCH_sched.current.json
 	$(GO) run ./cmd/benchgate -baseline BENCH_sched.json -current /tmp/BENCH_sched.current.json
+	$(GO) run ./cmd/paper -bench-throughput /tmp/BENCH_throughput.current.json -bench-workers 1,8
+	$(GO) run ./cmd/benchgate -baseline BENCH_throughput.json -current /tmp/BENCH_throughput.current.json -entries '-w[18]$$'
 
 # Brief runs of the native fuzz targets. FuzzReducePreservesF fuzzes the
 # paper's theorem (reduction preserves the forbidden-latency matrix);

@@ -16,6 +16,14 @@
 // baseline deliberately. Extra entries in the current report are fine —
 // they are future baseline material.
 //
+// Wall-clock throughput depends on the host's core count, so each
+// entry's host shape (its own gomaxprocs/num_cpu fields when present,
+// the report-level ones otherwise) is compared first: an entry whose
+// current host shape differs from the baseline's is skipped with a
+// warning rather than failed — a 1-core CI runner cannot meaningfully
+// gate numbers measured on an 8-core box. -entries restricts the gate
+// to baseline entries matching a regular expression.
+//
 // Exit status: 0 when every baseline entry holds, 1 on any regression or
 // missing entry, 2 on usage or I/O errors.
 package main
@@ -25,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 )
 
 type benchEntry struct {
@@ -33,6 +42,22 @@ type benchEntry struct {
 	SerialNS   int64   `json:"serial_ns"`
 	ParallelNS int64   `json:"parallel_ns"`
 	Speedup    float64 `json:"speedup"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+}
+
+// hostShape resolves an entry's host shape, falling back to the
+// report-level fields for entries (and reports) that predate per-entry
+// recording.
+func hostShape(rep *benchReport, e benchEntry) (gomaxprocs, numCPU int) {
+	gomaxprocs, numCPU = e.GoMaxProcs, e.NumCPU
+	if gomaxprocs == 0 {
+		gomaxprocs = rep.GoMaxProcs
+	}
+	if numCPU == 0 {
+		numCPU = rep.NumCPU
+	}
+	return gomaxprocs, numCPU
 }
 
 type benchReport struct {
@@ -64,6 +89,7 @@ func main() {
 		currentPath  = flag.String("current", "", "freshly measured report (required)")
 		maxRegress   = flag.Float64("max-regress", 1.20, "maximum allowed current/baseline serial wall-time ratio")
 		minDeltaMS   = flag.Float64("min-delta-ms", 5, "ignore regressions smaller than this many milliseconds")
+		entriesRE    = flag.String("entries", "", "gate only baseline entries whose name matches this regexp")
 	)
 	flag.Parse()
 	if *baselinePath == "" || *currentPath == "" {
@@ -73,6 +99,15 @@ func main() {
 	if *maxRegress <= 0 {
 		fmt.Fprintln(os.Stderr, "benchgate: -max-regress must be positive")
 		os.Exit(2)
+	}
+	var nameRE *regexp.Regexp
+	if *entriesRE != "" {
+		re, err := regexp.Compile(*entriesRE)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate: -entries:", err)
+			os.Exit(2)
+		}
+		nameRE = re
 	}
 
 	base, err := load(*baselinePath)
@@ -91,12 +126,24 @@ func main() {
 	}
 
 	failed := false
+	gated := 0
 	minDeltaNS := int64(*minDeltaMS * 1e6)
 	for _, b := range base.Entries {
+		if nameRE != nil && !nameRE.MatchString(b.Name) {
+			continue
+		}
+		gated++
 		c, ok := curByName[b.Name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "benchgate: FAIL %-22s missing from %s\n", b.Name, *currentPath)
 			failed = true
+			continue
+		}
+		bg, bn := hostShape(base, b)
+		cg, cn := hostShape(cur, c)
+		if bg != cg || bn != cn {
+			fmt.Fprintf(os.Stderr, "benchgate: skip %-22s host shape %d/%d differs from baseline %d/%d (gomaxprocs/num_cpu)\n",
+				b.Name, cg, cn, bg, bn)
 			continue
 		}
 		ratio := float64(c.SerialNS) / float64(b.SerialNS)
@@ -112,6 +159,10 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+	if gated == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no baseline entries match -entries %q\n", *entriesRE)
+		os.Exit(2)
+	}
 	fmt.Printf("benchgate: %d entries within %.0f%% of %s\n",
-		len(base.Entries), (*maxRegress-1)*100, *baselinePath)
+		gated, (*maxRegress-1)*100, *baselinePath)
 }

@@ -28,6 +28,20 @@ type benchEntry struct {
 	// reserved-table cells the range scan examined per decision.
 	CheckEquivPerDecision float64 `json:"check_equiv_per_decision,omitempty"`
 	RangeWorkPerDecision  float64 `json:"range_work_per_decision,omitempty"`
+	// GoMaxProcs/NumCPU record the host shape this entry was measured
+	// under; 0 (older reports) means "use the report-level values".
+	// benchgate skips entries whose host shape differs from the baseline
+	// instead of failing them — throughput across different core counts
+	// is not comparable.
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	NumCPU     int `json:"num_cpu,omitempty"`
+	// LoopsPerSec is the streamed-scheduling throughput (loops scheduled
+	// per second of wall time, generation included) of the throughput
+	// benchmark's entries.
+	LoopsPerSec float64 `json:"loops_per_sec,omitempty"`
+	// Failed counts corpus loops the scheduler gave up on (throughput
+	// entries; the count is deterministic per corpus).
+	Failed int `json:"failed,omitempty"`
 }
 
 // benchReport is the BENCH_parallel.json schema: the host's parallelism

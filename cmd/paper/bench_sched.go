@@ -43,8 +43,12 @@ func runBenchSched(path string, workers, loopLimit int) error {
 
 	for _, r := range tables.PaperRepresentations(m) {
 		factory := r.Factory()
+		// Scheduling runs through per-worker arenas (modules reset, not
+		// rebuilt; zero allocations per loop in steady state), the same
+		// path the throughput benchmark ships. Schedules are identical to
+		// fresh per-loop modules (TestArenaMatchesFreshCorpus).
 		runCorpus := func(cfg sched.Config) {
-			for _, res := range sched.ScheduleBatch(loops, m, func(int) sched.ModuleFactory { return factory }, cfg, workers) {
+			for _, res := range sched.ScheduleBatchArena(loops, m, factory, cfg, workers) {
 				if !res.OK {
 					panic(fmt.Sprintf("bench-sched: %s failed to schedule a corpus loop", r.Label))
 				}

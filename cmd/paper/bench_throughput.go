@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/loopgen"
+	"repro/internal/machines"
+	"repro/internal/sched"
+	"repro/internal/tables"
+)
+
+// parseWorkersList parses a comma-separated worker-count list ("1,2,4,8").
+func parseWorkersList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("invalid worker count %q", f)
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// runBenchThroughput writes the scheduler-throughput report
+// (BENCH_throughput.json, benchReport schema): a 100k-loop stratified
+// corpus (loopgen.DefaultStrata) streamed through per-worker scheduler
+// arenas (sched.ScheduleStream), once per representation x worker
+// count. The headline metric is loops scheduled per second of wall
+// time, generation included — the corpus never exists in memory at
+// once, so the measurement covers the whole streamed pipeline the way
+// a compiler would run it.
+//
+// serial_ns holds each entry's wall time (the column benchgate gates);
+// speedup is relative to the same representation at 1 worker. Every
+// entry records the host shape (gomaxprocs/num_cpu) so benchgate can
+// skip — not fail — entries measured under a different core count.
+func runBenchThroughput(path string, corpusLoops int, workersList []int) error {
+	if corpusLoops <= 0 {
+		corpusLoops = 100_000
+	}
+	if len(workersList) == 0 {
+		workersList = []int{1, 2, 4, 8}
+	}
+	m := machines.Cydra5()
+	st := loopgen.DefaultStrata(corpusLoops)
+	paperReps := tables.PaperRepresentations(m)
+	cases := []struct {
+		name    string
+		factory sched.ModuleFactory
+	}{
+		// The two reduced representations Table 6 compares end to end:
+		// res-uses (discrete reserved table) and the widest k-cycle-word
+		// packing (bitvector).
+		{"discrete", paperReps[1].Factory()},
+		{"bitvec-k64", paperReps[len(paperReps)-1].Factory()},
+	}
+	rep := benchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Loops:       corpusLoops,
+	}
+	cfg := sched.DefaultConfig()
+	fmt.Fprintf(os.Stderr, "paper: bench-throughput: %d streamed loops, workers %v\n", corpusLoops, workersList)
+
+	warm := loopgen.DefaultStrata(2000)
+	for _, rc := range cases {
+		// Warm the compiled-table cache and the allocator once per
+		// representation before any timed run.
+		ws, err := loopgen.NewStream(m, warm)
+		if err != nil {
+			return err
+		}
+		sched.ScheduleStream(ws.Next, m, rc.factory, cfg, workersList[0], 0)
+
+		var baseNS int64
+		for _, w := range workersList {
+			s, err := loopgen.NewStream(m, st)
+			if err != nil {
+				return err
+			}
+			var stats sched.StreamStats
+			ns := timeIt(func() { stats = sched.ScheduleStream(s.Next, m, rc.factory, cfg, w, 0) })
+			if stats.Loops != corpusLoops {
+				return fmt.Errorf("bench-throughput: %s w%d scheduled %d loops, want %d", rc.name, w, stats.Loops, corpusLoops)
+			}
+			e := benchEntry{
+				Name:       fmt.Sprintf("throughput-%s-w%d", rc.name, w),
+				Workers:    w,
+				SerialNS:   ns,
+				GoMaxProcs: rep.GoMaxProcs,
+				NumCPU:     rep.NumCPU,
+				Failed:     stats.Failed,
+			}
+			if ns > 0 {
+				e.LoopsPerSec = float64(stats.Loops) / (float64(ns) / 1e9)
+			}
+			if w == workersList[0] {
+				baseNS = ns
+			}
+			if baseNS > 0 && ns > 0 {
+				e.Speedup = float64(baseNS) / float64(ns)
+			}
+			rep.Entries = append(rep.Entries, e)
+			fmt.Fprintf(os.Stderr, "paper: bench-throughput: %-26s %9.1fms  %9.0f loops/s  failed %d  x%.2f\n",
+				e.Name, float64(ns)/1e6, e.LoopsPerSec, stats.Failed, e.Speedup)
+		}
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d entries)\n", path, len(rep.Entries))
+	return nil
+}

@@ -1,0 +1,93 @@
+package ddg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomGraph builds a loop-shaped graph: a chain with random extra
+// edges, self-recurrences and occasional back edges with distance.
+func randomGraph(rng *rand.Rand, n int) *Graph {
+	g := &Graph{Name: "rand"}
+	for i := 0; i < n; i++ {
+		g.Nodes = append(g.Nodes, Node{Name: "v", Op: 0})
+	}
+	for i := 1; i < n; i++ {
+		from := rng.Intn(i)
+		g.Edges = append(g.Edges, Edge{From: from, To: i, Delay: 1 + rng.Intn(20)})
+	}
+	extra := rng.Intn(2 * n)
+	for i := 0; i < extra; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		e := Edge{From: a, To: b, Delay: rng.Intn(24)}
+		if b <= a {
+			e.Dist = 1 + rng.Intn(2) // backward or self: must cross an iteration
+		} else if rng.Intn(4) == 0 {
+			e.Dist = 1
+		}
+		g.Edges = append(g.Edges, e)
+	}
+	return g
+}
+
+// TestMIIScratchMatchesGraph pins MIIScratch's ResMII/RecMII to the
+// Graph methods over many random graphs, with the scratch reused across
+// graphs (the arena's usage pattern).
+func TestMIIScratchMatchesGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	uc := fixedUsage{}
+	var s MIIScratch
+	for i := 0; i < 300; i++ {
+		g := randomGraph(rng, 2+rng.Intn(30))
+		if err := g.Validate(); err != nil {
+			t.Fatalf("graph %d invalid: %v", i, err)
+		}
+		if got, want := s.RecMII(g), g.RecMII(); got != want {
+			t.Fatalf("graph %d: scratch RecMII = %d, Graph.RecMII = %d", i, got, want)
+		}
+		if got, want := s.ResMII(g, uc), g.ResMII(uc); got != want {
+			t.Fatalf("graph %d: scratch ResMII = %d, Graph.ResMII = %d", i, got, want)
+		}
+		if got, want := s.MII(g, uc), g.MII(uc); got != want {
+			t.Fatalf("graph %d: scratch MII = %d, Graph.MII = %d", i, got, want)
+		}
+	}
+}
+
+// fixedUsage is a tiny UsageCounter: every op has two alternatives using
+// one of two resources once.
+type fixedUsage struct{}
+
+func (fixedUsage) NumResources() int { return 2 }
+func (fixedUsage) NumAlts(op int) int {
+	return 2
+}
+func (fixedUsage) Uses(op, alt, resource int) int {
+	if alt == resource {
+		return 1
+	}
+	return 0
+}
+
+// TestMIIScratchZeroAllocSteadyState pins that a warmed scratch computes
+// MII without allocating — the property the scheduler arena relies on.
+func TestMIIScratchZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	graphs := make([]*Graph, 16)
+	for i := range graphs {
+		graphs[i] = randomGraph(rng, 4+rng.Intn(24))
+	}
+	var s MIIScratch
+	uc := fixedUsage{}
+	for _, g := range graphs {
+		s.MII(g, uc) // warm every buffer across the shape mix
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for _, g := range graphs {
+			s.MII(g, uc)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed MIIScratch.MII allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -94,7 +94,9 @@ func Generate(m *resmodel.Machine, cfg Config) ([]*ddg.Graph, error) {
 		if size > cfg.MaxOps {
 			size = cfg.MaxOps
 		}
-		g := genLoop(rng, o, fmt.Sprintf("loop%04d", i), size, cfg.RecurrenceProb)
+		g := genLoop(rng, o, fmt.Sprintf("loop%04d", i), size, profile{
+			recProb: cfg.RecurrenceProb, memNum: 1, memDen: 10,
+		})
 		if err := g.Validate(); err != nil {
 			return nil, fmt.Errorf("loopgen: generated invalid loop %d: %v", i, err)
 		}
@@ -103,8 +105,22 @@ func Generate(m *resmodel.Machine, cfg Config) ([]*ddg.Graph, error) {
 	return loops, nil
 }
 
+// profile is the shape knob set genLoop draws from: the recurrence
+// probability and the memory-operation density as an exact rational
+// (memNum/memDen of the remaining budget goes to address streams, and
+// again to stores). Generate uses {recProb, 1, 10} — with those values
+// budget*memNum/memDen == budget/10 for every budget, so the historical
+// byte-exact output is preserved (pinned by TestGenerateDeterministic).
+// Since loads, stores and address updates are the operations with
+// dual-unit alternatives on the Cydra 5, the density is also the
+// alternative-mix axis of the stratified stream.
+type profile struct {
+	recProb        float64
+	memNum, memDen int
+}
+
 // genLoop builds one loop of approximately the requested size.
-func genLoop(rng *rand.Rand, o opset, name string, size int, recProb float64) *ddg.Graph {
+func genLoop(rng *rand.Rand, o opset, name string, size int, p profile) *ddg.Graph {
 	g := &ddg.Graph{Name: name}
 	add := func(op int, nm string) int {
 		g.Nodes = append(g.Nodes, ddg.Node{Name: nm, Op: op})
@@ -132,7 +148,7 @@ func genLoop(rng *rand.Rand, o opset, name string, size int, recProb float64) *d
 
 	// Array streams: address update + load. Stream addresses are
 	// induction variables (loop-carried self-dependences).
-	nStreams := 1 + budget/10
+	nStreams := 1 + budget*p.memNum/p.memDen
 	if nStreams > 10 {
 		nStreams = 10
 	}
@@ -158,7 +174,7 @@ func genLoop(rng *rand.Rand, o opset, name string, size int, recProb float64) *d
 
 	// Dataflow body: compute operations consuming earlier values.
 	computeOps := []int{o.faddS, o.fmulS, o.fmadd, o.iadd}
-	nStores := budget / 10
+	nStores := budget * p.memNum / p.memDen
 	for budget > nStores*2 {
 		op := computeOps[rng.Intn(len(computeOps))]
 		v := add(op, fmt.Sprintf("t%d", len(g.Nodes)))
@@ -173,7 +189,7 @@ func genLoop(rng *rand.Rand, o opset, name string, size int, recProb float64) *d
 	// Loop-carried reduction: a compute op feeding itself next iteration
 	// (sum = sum + x). Distance occasionally 2 (back-substituted
 	// recurrences), which halves its RecMII contribution.
-	if rng.Float64() < recProb {
+	if rng.Float64() < p.recProb {
 		accOp := o.faddS
 		if rng.Intn(3) == 0 {
 			accOp = o.fmadd

@@ -49,6 +49,15 @@ type Bitvector struct {
 	packed0 [][]packedWord
 	mirror  []uint64
 
+	// occ is the occupancy summary bitmap: bit w is set iff word w of the
+	// backing table (mirror for modulo, reserved for linear) is non-zero.
+	// It is maintained on every table mutation and lets range scans answer
+	// "this candidate's whole word window is free" in O(1) instead of
+	// ANDing empty words. noSummary disables the fast path (differential
+	// tests pin it byte-identical to the plain word scan).
+	occ       []uint64
+	noSummary bool
+
 	// Alternative-union packed words for the fast check-with-alt path
 	// (nil until EnableFastAlt).
 	altUnion  [][][]packedWord // linear: [origOp][alignment]
@@ -99,11 +108,19 @@ func NewBitvector(e *resmodel.Expanded, k, wordBits, ii int) (*Bitvector, error)
 	if ii > 0 {
 		b.packed0 = pt.packed0
 		b.mirror = make([]uint64, (2*ii+k-1)/k+2)
+		b.occ = make([]uint64, (len(b.mirror)+63)/64)
 	} else {
 		b.reserved = make([]uint64, (b.c.maxSpan()+16)/k+2)
+		b.occ = make([]uint64, (len(b.reserved)+63)/64)
 	}
 	return b, nil
 }
+
+// SetSummaryScan toggles the occupancy-summary fast path of the range
+// scans (enabled by default). Schedules and probe accounting are
+// byte-identical either way; the toggle exists for the differential
+// tests and for benchmarking the scan against the plain word loop.
+func (b *Bitvector) SetSummaryScan(on bool) { b.noSummary = !on }
 
 // MaxCyclesPerWord returns the densest legal packing for a machine with
 // numResources resources in a word of wordBits bits, or 0 if even one
@@ -158,6 +175,7 @@ func (b *Bitvector) WordsPerOp(op, align int) int {
 
 // growWords extends the linear reserved table to cover word w, doubling
 // capacity with a single zeroed allocation (no temporary append slice).
+// The occupancy summary grows in step so it always covers every word.
 func (b *Bitvector) growWords(w int) {
 	if w < len(b.reserved) {
 		return
@@ -172,6 +190,43 @@ func (b *Bitvector) growWords(w int) {
 	grown := make([]uint64, n)
 	copy(grown, b.reserved)
 	b.reserved = grown
+	if need := (n + 63) / 64; need > len(b.occ) {
+		occ := make([]uint64, need)
+		copy(occ, b.occ)
+		b.occ = occ
+	}
+}
+
+// occMark records word wi of the backing table as non-zero; occSync
+// re-derives word wi's summary bit from its current value after bits
+// were cleared. Together they maintain the invariant
+// occ[wi/64] bit wi%64 == (word wi != 0) at every mutation site.
+func (b *Bitvector) occMark(wi int) { b.occ[wi>>6] |= 1 << uint(wi&63) }
+
+func (b *Bitvector) occSync(wi int, word uint64) {
+	if word == 0 {
+		b.occ[wi>>6] &^= 1 << uint(wi&63)
+	}
+}
+
+// occAny reports whether any word in [lo, hi] of the backing table is
+// non-zero, reading only the summary bitmap.
+func (b *Bitvector) occAny(lo, hi int) bool {
+	w1, w2 := lo>>6, hi>>6
+	headMask := ^uint64(0) << uint(lo&63)
+	tailMask := ^uint64(0) >> uint(63-(hi&63))
+	if w1 == w2 {
+		return b.occ[w1]&headMask&tailMask != 0
+	}
+	if b.occ[w1]&headMask != 0 {
+		return true
+	}
+	for w := w1 + 1; w < w2; w++ {
+		if b.occ[w] != 0 {
+			return true
+		}
+	}
+	return b.occ[w2]&tailMask != 0
 }
 
 func (b *Bitvector) modCycle(cycle int) int {
@@ -199,13 +254,17 @@ func (b *Bitvector) window(s int) uint64 {
 // both mirror images.
 func (b *Bitvector) orCycle(t int, bits uint64) {
 	for _, tt := range [2]int{t, t + b.ii} {
-		b.mirror[tt/b.k] |= bits << uint((tt%b.k)*b.nRes)
+		wi := tt / b.k
+		b.mirror[wi] |= bits << uint((tt%b.k)*b.nRes)
+		b.occMark(wi)
 	}
 }
 
 func (b *Bitvector) andNotCycle(t int, bits uint64) {
 	for _, tt := range [2]int{t, t + b.ii} {
-		b.mirror[tt/b.k] &^= bits << uint((tt%b.k)*b.nRes)
+		wi := tt / b.k
+		b.mirror[wi] &^= bits << uint((tt%b.k)*b.nRes)
+		b.occSync(wi, b.mirror[wi])
 	}
 }
 
@@ -313,6 +372,7 @@ func (b *Bitvector) orTable(op, cycle int, work *int64) {
 		wi := base + w.Word
 		b.growWords(wi)
 		b.reserved[wi] |= w.Bits
+		b.occMark(wi)
 	}
 }
 
@@ -331,6 +391,7 @@ func (b *Bitvector) andNotTable(op, cycle int, work *int64) {
 		wi := base + w.Word
 		if wi < len(b.reserved) {
 			b.reserved[wi] &^= w.Bits
+			b.occSync(wi, b.reserved[wi])
 		}
 	}
 }
@@ -407,11 +468,14 @@ func (b *Bitvector) optimisticAssign(op, cycle int) bool {
 		if b.reserved[wi]&w.Bits != 0 {
 			for j := 0; j < i; j++ {
 				b.ctr.AssignFreeWork++
-				b.reserved[base+words[j].Word] &^= words[j].Bits
+				wj := base + words[j].Word
+				b.reserved[wj] &^= words[j].Bits
+				b.occSync(wj, b.reserved[wj])
 			}
 			return false
 		}
 		b.reserved[wi] |= w.Bits
+		b.occMark(wi)
 	}
 	return true
 }
@@ -432,7 +496,11 @@ func (b *Bitvector) enterUpdateMode() {
 		}
 		b.ownerWidth = need
 	}
-	b.owners = make([]int32, b.nRes*b.ownerWidth)
+	if n := b.nRes * b.ownerWidth; cap(b.owners) >= n {
+		b.owners = b.owners[:n]
+	} else {
+		b.owners = make([]int32, n)
+	}
 	for i := range b.owners {
 		b.owners[i] = -1
 	}
@@ -448,21 +516,38 @@ func (b *Bitvector) ownerCell(r, cycle int) *int32 {
 		c = b.modCycle(cycle)
 	} else {
 		if cycle >= b.ownerWidth {
-			// Double the grid width in one allocation; only the fresh
-			// tail of each resource row needs the -1 (unowned) fill.
-			nw := b.ownerWidth
+			// Double the grid width; only the fresh tail of each resource
+			// row needs the -1 (unowned) fill. When the backing array is
+			// already wide enough (a reset module regrowing), the rows are
+			// reshaped in place back to front — row r moves from offset
+			// r*oldWidth to the strictly larger r*newWidth, so descending
+			// over rows never clobbers an unmoved one, and copy handles
+			// the overlap within a row.
+			ow, nw := b.ownerWidth, b.ownerWidth
 			for nw <= cycle {
 				nw *= 2
 			}
-			cells := make([]int32, b.nRes*nw)
-			for rr := 0; rr < b.nRes; rr++ {
-				row := cells[rr*nw : (rr+1)*nw]
-				copy(row, b.owners[rr*b.ownerWidth:(rr+1)*b.ownerWidth])
-				for i := b.ownerWidth; i < nw; i++ {
-					row[i] = -1
+			if cap(b.owners) >= b.nRes*nw {
+				cells := b.owners[:b.nRes*nw]
+				for rr := b.nRes - 1; rr >= 0; rr-- {
+					row := cells[rr*nw : (rr+1)*nw]
+					copy(row, cells[rr*ow:(rr+1)*ow])
+					for i := ow; i < nw; i++ {
+						row[i] = -1
+					}
 				}
+				b.owners, b.ownerWidth = cells, nw
+			} else {
+				cells := make([]int32, b.nRes*nw)
+				for rr := 0; rr < b.nRes; rr++ {
+					row := cells[rr*nw : (rr+1)*nw]
+					copy(row, b.owners[rr*ow:(rr+1)*ow])
+					for i := ow; i < nw; i++ {
+						row[i] = -1
+					}
+				}
+				b.owners, b.ownerWidth = cells, nw
 			}
-			b.owners, b.ownerWidth = cells, nw
 		}
 		c = cycle
 	}
@@ -534,6 +619,7 @@ func (b *Bitvector) setBit(r, cycle int) {
 	wi := cycle / b.k
 	b.growWords(wi)
 	b.reserved[wi] |= 1 << uint((cycle%b.k)*b.nRes+r)
+	b.occMark(wi)
 }
 
 func (b *Bitvector) clearBit(r, cycle int) {
@@ -544,6 +630,7 @@ func (b *Bitvector) clearBit(r, cycle int) {
 	wi := cycle / b.k
 	if wi < len(b.reserved) {
 		b.reserved[wi] &^= 1 << uint((cycle%b.k)*b.nRes+r)
+		b.occSync(wi, b.reserved[wi])
 	}
 }
 
@@ -565,7 +652,10 @@ func (b *Bitvector) CheckWithAlt(origOp, cycle int) (int, bool) {
 // Counters implements Module.
 func (b *Bitvector) Counters() *Counters { return &b.ctr }
 
-// Reset implements Module.
+// Reset implements Module. It clears in place and keeps every backing
+// buffer — the instance map's buckets, the owner grid's capacity, the
+// grown reserved table — so an arena-held module resets without
+// allocating (pinned by TestResetDoesNotAllocate).
 func (b *Bitvector) Reset() {
 	if b.ii > 0 {
 		for i := range b.mirror {
@@ -576,9 +666,13 @@ func (b *Bitvector) Reset() {
 			b.reserved[i] = 0
 		}
 	}
-	b.inst = map[int]instance{}
+	for i := range b.occ {
+		b.occ[i] = 0
+	}
+	clear(b.inst)
 	b.updateMode = false
-	b.owners = nil
+	b.owners = b.owners[:0]
+	b.ownerWidth = 0
 	b.ctr.Reset()
 }
 

@@ -18,8 +18,11 @@ type Discrete struct {
 	cells []int32 // cells[r*width + col] = instance id or -1
 	width int
 	inst  map[int]instance
-	ctr   Counters
-	met   *moduleObs // nil while metrics are disabled
+	// evictScratch backs the slice AssignFree returns, reused across
+	// calls so steady-state eviction allocates nothing.
+	evictScratch []int
+	ctr          Counters
+	met          *moduleObs // nil while metrics are disabled
 }
 
 // NewDiscrete creates a discrete-representation module for the machine.
@@ -133,7 +136,7 @@ func (d *Discrete) AssignFree(op, cycle, id int) []int {
 	d.ctr.AssignFreeCalls++
 	d.mustSchedulable(op)
 	w0 := d.ctr.AssignFreeWork
-	var evicted []int
+	evicted := d.evictScratch[:0]
 	for _, u := range d.uses(op) {
 		d.ctr.AssignFreeWork++
 		c := d.cell(u.Resource, cycle+u.Cycle)
@@ -143,6 +146,7 @@ func (d *Discrete) AssignFree(op, cycle, id int) []int {
 		}
 		*c = int32(id)
 	}
+	d.evictScratch = evicted
 	d.inst[id] = instance{op, cycle}
 	d.ctr.Unscheduled += int64(len(evicted))
 	if len(evicted) > 0 {
@@ -201,12 +205,14 @@ func (d *Discrete) CheckWithAlt(origOp, cycle int) (int, bool) {
 // Counters implements Module.
 func (d *Discrete) Counters() *Counters { return &d.ctr }
 
-// Reset implements Module.
+// Reset implements Module. Like Bitvector.Reset it clears in place —
+// the cell grid keeps its grown width and the instance map its buckets
+// — so an arena-held module resets without allocating.
 func (d *Discrete) Reset() {
 	for i := range d.cells {
 		d.cells[i] = -1
 	}
-	d.inst = map[int]instance{}
+	clear(d.inst)
 	d.ctr.Reset()
 }
 

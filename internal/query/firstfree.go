@@ -86,10 +86,10 @@ func rangeCyclesProbedAlt(lo, hi, cycle, altIdx, group int, ok bool) int64 {
 // FirstFree implements RangeQuerier.
 func (b *Bitvector) FirstFree(op, lo, hi int) (int, bool) {
 	b.ctr.FirstFreeCalls++
-	w0 := b.ctr.FirstFreeWork
+	w0, s0 := b.ctr.FirstFreeWork, b.ctr.FirstFreeSkips
 	cycle, ok := b.firstFree(op, lo, hi)
 	b.ctr.FirstFreeCycles += rangeCyclesProbed(lo, hi, cycle, ok)
-	b.met.onFirstFree(b.ctr.FirstFreeWork - w0)
+	b.met.onFirstFree(b.ctr.FirstFreeWork-w0, b.ctr.FirstFreeSkips-s0)
 	return cycle, ok
 }
 
@@ -129,6 +129,19 @@ func (b *Bitvector) effectiveHi(lo, hi int) int {
 // or division, and the word index and alignment advance incrementally
 // as the candidate slides. A candidate dies at its first conflicting
 // word, exactly like Check; each packed word ANDed is one work unit.
+//
+// Before the word loop, a candidate spanning two or more packed words
+// consults the occupancy summary: if every backing word in the
+// candidate's window is zero (occAny over [first, last] packed word),
+// the candidate is free without ANDing anything — one work unit is
+// charged for the summary probe (the same cost as the single AND a
+// one-word table pays) and the skip is counted in FirstFreeSkips. A
+// non-zero summary proves nothing about the candidate's specific bits,
+// so the scan falls through to the word loop; the summary probe then
+// overlaps with the first word's AND and is not charged separately.
+// The occ invariant (bit set iff word non-zero) makes the fast path
+// answer exactly what the word loop would: summary-free means every
+// word ANDs to zero, so schedules and FirstFreeCycles are untouched.
 func (b *Bitvector) scanFree(op, t0, L int) int {
 	pk := b.packed[op]
 	work := int64(0)
@@ -137,8 +150,16 @@ func (b *Bitvector) scanFree(op, t0, L int) int {
 		s := b.modCycle(t0)
 		q, a := s/b.k, s%b.k
 		for i := 0; i < L; i++ {
+			pkA := pk[a]
+			if !b.noSummary && len(pkA) >= 2 &&
+				!b.occAny(q+pkA[0].Word, q+pkA[len(pkA)-1].Word) {
+				work++
+				b.ctr.FirstFreeWork += work
+				b.ctr.FirstFreeSkips++
+				return i
+			}
 			free := true
-			for _, pw := range pk[a] {
+			for _, pw := range pkA {
 				work++
 				// The mirror keeps cycles [0, 2*II) in sync, so a table
 				// reaching past II reads the second image — no wraparound.
@@ -164,8 +185,24 @@ func (b *Bitvector) scanFree(op, t0, L int) int {
 	reserved := b.reserved
 	q, a := t0/b.k, t0%b.k
 	for i := 0; i < L; i++ {
+		pkA := pk[a]
+		if !b.noSummary && len(pkA) >= 2 {
+			loW := q + pkA[0].Word
+			hiW := q + pkA[len(pkA)-1].Word
+			if hiW >= len(reserved) {
+				hiW = len(reserved) - 1
+			}
+			// Words at or beyond the table end are trivially free, so a
+			// window starting past the end skips without consulting occ.
+			if loW > hiW || !b.occAny(loW, hiW) {
+				work++
+				b.ctr.FirstFreeWork += work
+				b.ctr.FirstFreeSkips++
+				return i
+			}
+		}
 		free := true
-		for _, pw := range pk[a] {
+		for _, pw := range pkA {
 			work++
 			wi := q + pw.Word
 			if wi >= len(reserved) {
@@ -202,10 +239,10 @@ func (b *Bitvector) FirstFreeWithAlt(origOp, lo, hi int) (int, int, bool) {
 	b.ctr.FirstFreeWithAltCalls++
 	b.met.onFirstFreeWithAlt()
 	group := b.e.AltGroup[origOp]
-	w0 := b.ctr.FirstFreeWork
+	w0, s0 := b.ctr.FirstFreeWork, b.ctr.FirstFreeSkips
 	op, cycle, altIdx, ok := b.firstFreeAlt(group, lo, hi)
 	b.ctr.FirstFreeCycles += rangeCyclesProbedAlt(lo, hi, cycle, altIdx, len(group), ok)
-	b.met.onFirstFree(b.ctr.FirstFreeWork - w0)
+	b.met.onFirstFree(b.ctr.FirstFreeWork-w0, b.ctr.FirstFreeSkips-s0)
 	return op, cycle, ok
 }
 
@@ -260,7 +297,7 @@ func (d *Discrete) FirstFree(op, lo, hi int) (int, bool) {
 	w0 := d.ctr.FirstFreeWork
 	cycle, ok := d.firstFree(op, lo, hi)
 	d.ctr.FirstFreeCycles += rangeCyclesProbed(lo, hi, cycle, ok)
-	d.met.onFirstFree(d.ctr.FirstFreeWork - w0)
+	d.met.onFirstFree(d.ctr.FirstFreeWork-w0, 0)
 	return cycle, ok
 }
 
@@ -379,7 +416,7 @@ func (d *Discrete) FirstFreeWithAlt(origOp, lo, hi int) (int, int, bool) {
 	w0 := d.ctr.FirstFreeWork
 	op, cycle, altIdx, ok := d.firstFreeAlt(group, lo, hi)
 	d.ctr.FirstFreeCycles += rangeCyclesProbedAlt(lo, hi, cycle, altIdx, len(group), ok)
-	d.met.onFirstFree(d.ctr.FirstFreeWork - w0)
+	d.met.onFirstFree(d.ctr.FirstFreeWork-w0, 0)
 	return op, cycle, ok
 }
 

@@ -28,6 +28,7 @@ type moduleObs struct {
 	firstFree                       fnObs
 	checkWithAlt                    *obs.Counter
 	firstFreeWithAlt                *obs.Counter
+	firstFreeSkips                 *obs.Counter
 	evictions                      *obs.Counter
 	modeTransitions                *obs.Counter
 }
@@ -51,6 +52,7 @@ func newModuleObs(kind string) *moduleObs {
 		firstFree:        fn("firstfree"),
 		checkWithAlt:     s.Counter("check_with_alt.calls"),
 		firstFreeWithAlt: s.Counter("first_free_with_alt.calls"),
+		firstFreeSkips:   s.Counter("firstfree.summary_skips"),
 		evictions:        s.Counter("evictions"),
 		modeTransitions:  s.Counter("mode_transitions"),
 	}
@@ -94,12 +96,17 @@ func (m *moduleObs) onCheckWithAlt() {
 
 // onFirstFree records one range query and its work units under
 // query.<kind>.firstfree.calls/.probe (per-op probe lengths — the
-// ISSUE's per-op firstfree.probes histogram).
-func (m *moduleObs) onFirstFree(work int64) {
+// ISSUE's per-op firstfree.probes histogram), plus any candidate
+// cycles the occupancy summary answered on its own
+// (query.<kind>.firstfree.summary_skips; always 0 for discrete).
+func (m *moduleObs) onFirstFree(work, skips int64) {
 	if m == nil {
 		return
 	}
 	m.firstFree.observe(work)
+	if skips != 0 {
+		m.firstFreeSkips.Add(skips)
+	}
 }
 
 func (m *moduleObs) onFirstFreeWithAlt() {

@@ -88,6 +88,11 @@ type Counters struct {
 	FirstFreeCalls, FirstFreeWork int64
 	FirstFreeCycles               int64
 	FirstFreeWithAltCalls         int64
+	// FirstFreeSkips counts candidate cycles a range scan answered "free"
+	// through the occupancy summary bitmap alone — one summary probe (one
+	// work unit) instead of one AND per packed reservation word. Always 0
+	// for discrete modules and with the summary scan disabled.
+	FirstFreeSkips int64
 	// ModeTransitions counts optimistic-to-update transitions of the
 	// bitvector assign&free (always 0 for discrete modules).
 	ModeTransitions int64
@@ -101,6 +106,51 @@ type Counters struct {
 
 // Reset zeroes all counters.
 func (c *Counters) Reset() { *c = Counters{} }
+
+// AddFrom accumulates src into c field by field. It is the one place
+// that knows every counter, so aggregators (Table 6, scheduler arenas,
+// benchmark harnesses) cannot silently drop a newly added field.
+func (c *Counters) AddFrom(src *Counters) {
+	c.CheckCalls += src.CheckCalls
+	c.CheckWork += src.CheckWork
+	c.AssignCalls += src.AssignCalls
+	c.AssignWork += src.AssignWork
+	c.AssignFreeCalls += src.AssignFreeCalls
+	c.AssignFreeWork += src.AssignFreeWork
+	c.FreeCalls += src.FreeCalls
+	c.FreeWork += src.FreeWork
+	c.CheckWithAltCalls += src.CheckWithAltCalls
+	c.FirstFreeCalls += src.FirstFreeCalls
+	c.FirstFreeWork += src.FirstFreeWork
+	c.FirstFreeCycles += src.FirstFreeCycles
+	c.FirstFreeWithAltCalls += src.FirstFreeWithAltCalls
+	c.FirstFreeSkips += src.FirstFreeSkips
+	c.ModeTransitions += src.ModeTransitions
+	c.Unscheduled += src.Unscheduled
+	c.AssignFreeEvicting += src.AssignFreeEvicting
+}
+
+// Sub subtracts src from c field by field (the inverse of AddFrom), for
+// delta-based per-loop accounting over a long-lived arena module.
+func (c *Counters) Sub(src *Counters) {
+	c.CheckCalls -= src.CheckCalls
+	c.CheckWork -= src.CheckWork
+	c.AssignCalls -= src.AssignCalls
+	c.AssignWork -= src.AssignWork
+	c.AssignFreeCalls -= src.AssignFreeCalls
+	c.AssignFreeWork -= src.AssignFreeWork
+	c.FreeCalls -= src.FreeCalls
+	c.FreeWork -= src.FreeWork
+	c.CheckWithAltCalls -= src.CheckWithAltCalls
+	c.FirstFreeCalls -= src.FirstFreeCalls
+	c.FirstFreeWork -= src.FirstFreeWork
+	c.FirstFreeCycles -= src.FirstFreeCycles
+	c.FirstFreeWithAltCalls -= src.FirstFreeWithAltCalls
+	c.FirstFreeSkips -= src.FirstFreeSkips
+	c.ModeTransitions -= src.ModeTransitions
+	c.Unscheduled -= src.Unscheduled
+	c.AssignFreeEvicting -= src.AssignFreeEvicting
+}
 
 // TotalCalls returns the number of calls to the four basic functions.
 func (c *Counters) TotalCalls() int64 {

@@ -98,22 +98,138 @@ type Result struct {
 // alternative groups mirror m's operations (the original expansion or any
 // reduction of it).
 func Schedule(g *ddg.Graph, m *resmodel.Machine, factory ModuleFactory, cfg Config) Result {
-	res := schedule(g, m, factory, cfg)
+	var sc schedScratch
+	var res Result
+	scheduleInto(&res, g, m, factory, cfg, &sc)
 	observeSchedule(&res)
 	return res
 }
 
-func schedule(g *ddg.Graph, m *resmodel.Machine, factory ModuleFactory, cfg Config) Result {
+// edgeCSR is an adjacency list in compressed-sparse-row form over
+// reusable buffers: group v's edges are edges[off[v]:off[v+1]], in
+// global edge order within each group — exactly the per-node order
+// Graph.Preds/Graph.Succs produce, so switching the scheduler onto the
+// CSR changes no iteration order anywhere.
+type edgeCSR struct {
+	off   []int32
+	edges []ddg.Edge
+}
+
+func (c *edgeCSR) at(v int) []ddg.Edge { return c.edges[c.off[v]:c.off[v+1]] }
+
+// build groups g.Edges by destination (byTo) or source node with a
+// counting sort; after the fill pass off[v] holds group v's end, which
+// is off[v+1]'s start, so one descending shift restores the offsets.
+func (c *edgeCSR) build(g *ddg.Graph, byTo bool) {
+	n := len(g.Nodes)
+	if cap(c.off) < n+1 {
+		c.off = make([]int32, n+1)
+	} else {
+		c.off = c.off[:n+1]
+	}
+	if cap(c.edges) < len(g.Edges) {
+		c.edges = make([]ddg.Edge, len(g.Edges))
+	} else {
+		c.edges = c.edges[:len(g.Edges)]
+	}
+	off := c.off
+	for i := range off {
+		off[i] = 0
+	}
+	for _, e := range g.Edges {
+		k := e.From
+		if byTo {
+			k = e.To
+		}
+		off[k+1]++
+	}
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
+	}
+	for _, e := range g.Edges {
+		k := e.From
+		if byTo {
+			k = e.To
+		}
+		c.edges[off[k]] = e
+		off[k]++
+	}
+	for v := n; v >= 1; v-- {
+		off[v] = off[v-1]
+	}
+	off[0] = 0
+}
+
+// schedScratch holds every buffer one Schedule call needs, so an arena
+// (or any caller that keeps a scratch per worker) schedules loop after
+// loop without allocating once the buffers have grown to the corpus's
+// largest shape. The zero value is ready to use.
+type schedScratch struct {
+	st           state
+	mii          ddg.MIIScratch
+	usage        ddg.UsageCounter // boxed MachineUsage, cached per machine
+	usageM       *resmodel.Machine
+	preds, succs edgeCSR
+	height       []int
+	time         []int
+	alt          []int
+	prevTime     []int
+	everSched    []bool
+	inQueue      []bool
+	queue        []int
+}
+
+func intsZero(b []int, n int) []int {
+	if cap(b) < n {
+		return make([]int, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+func boolsZero(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
+}
+
+// resetResult reuses res's slices (grown capacity retained) and zeroes
+// everything else, so a Result cycled through ScheduleInto behaves like
+// a fresh one.
+func resetResult(res *Result, n int) {
+	*res = Result{
+		Time:              intsZero(res.Time, n),
+		Alt:               intsZero(res.Alt, n),
+		AttemptDecisions:  res.AttemptDecisions[:0],
+		ChecksPerDecision: res.ChecksPerDecision[:0],
+		ScanWidths:        res.ScanWidths[:0],
+	}
+}
+
+// scheduleInto is the one scheduling code path: Schedule runs it with a
+// fresh scratch, an Arena with its per-worker one. moduleOf supplies
+// the query module for each II attempt — the raw factory on the fresh
+// path, the arena's reset-and-reuse cache otherwise.
+func scheduleInto(res *Result, g *ddg.Graph, m *resmodel.Machine, moduleOf ModuleFactory, cfg Config, sc *schedScratch) {
 	if cfg.BudgetRatio <= 0 {
 		cfg.BudgetRatio = 6
 	}
 	n := len(g.Nodes)
-	res := Result{
-		ResMII: g.ResMII(ddg.MachineUsage{M: m}),
-		RecMII: g.RecMII(),
-		Time:   make([]int, n),
-		Alt:    make([]int, n),
+	resetResult(res, n)
+	if sc.usageM != m {
+		sc.usage = ddg.MachineUsage{M: m}
+		sc.usageM = m
 	}
+	res.ResMII = sc.mii.ResMII(g, sc.usage)
+	res.RecMII = sc.mii.RecMII(g)
 	res.MII = res.ResMII
 	if res.RecMII > res.MII {
 		res.MII = res.RecMII
@@ -122,19 +238,22 @@ func schedule(g *ddg.Graph, m *resmodel.Machine, factory ModuleFactory, cfg Conf
 	if maxII == 0 {
 		maxII = res.MII + totalDelay(g) + n + 8
 	}
-	s := &state{g: g, preds: g.Preds(), succs: g.Succs(), cfg: cfg, res: &res}
+	sc.preds.build(g, true)
+	sc.succs.build(g, false)
+	s := &sc.st
+	s.g, s.preds, s.succs, s.cfg, s.res, s.sc = g, &sc.preds, &sc.succs, cfg, res, sc
 	for ii := res.MII; ii <= maxII; ii++ {
 		res.Attempts++
 		d0 := res.Decisions
-		ok := s.attempt(ii, factory(ii))
+		ok := s.attempt(ii, moduleOf(ii))
 		res.AttemptDecisions = append(res.AttemptDecisions, res.Decisions-d0)
 		if ok {
 			res.OK = true
 			res.II = ii
-			return res
+			break
 		}
 	}
-	return res
+	s.res, s.mod, s.rq = nil, nil, nil // drop per-loop references
 }
 
 func totalDelay(g *ddg.Graph) int {
@@ -149,10 +268,11 @@ func totalDelay(g *ddg.Graph) int {
 
 type state struct {
 	g     *ddg.Graph
-	preds [][]ddg.Edge
-	succs [][]ddg.Edge
+	preds *edgeCSR
+	succs *edgeCSR
 	cfg   Config
 	res   *Result
+	sc    *schedScratch
 
 	ii        int
 	mod       query.Module
@@ -184,13 +304,20 @@ func (s *state) attempt(ii int, mod query.Module) bool {
 		}
 	}
 
-	s.height = heights(g, ii)
-	s.time = make([]int, n)
-	s.alt = make([]int, n)
-	s.prevTime = make([]int, n)
-	s.everSched = make([]bool, n)
-	s.inQueue = make([]bool, n)
-	s.queue = s.queue[:0]
+	// All attempt-local vectors come out of the scratch; they are resized
+	// (retaining capacity) and zeroed, which is exactly the state a fresh
+	// make would produce.
+	sc := s.sc
+	sc.height = intsZero(sc.height, n)
+	heightsInto(sc.height, ii, s.succs)
+	sc.time = intsZero(sc.time, n)
+	sc.alt = intsZero(sc.alt, n)
+	sc.prevTime = intsZero(sc.prevTime, n)
+	sc.everSched = boolsZero(sc.everSched, n)
+	sc.inQueue = boolsZero(sc.inQueue, n)
+	s.height, s.time, s.alt, s.prevTime = sc.height, sc.time, sc.alt, sc.prevTime
+	s.everSched, s.inQueue = sc.everSched, sc.inQueue
+	s.queue = sc.queue[:0]
 	for v := 0; v < n; v++ {
 		s.time[v] = -1
 		s.push(v)
@@ -200,6 +327,7 @@ func (s *state) attempt(ii int, mod query.Module) bool {
 	for len(s.queue) > 0 {
 		if budget <= 0 {
 			s.res.BudgetExceeded++
+			s.sc.queue = s.queue[:0] // retain grown capacity
 			return false
 		}
 		v := s.pop()
@@ -225,6 +353,7 @@ func (s *state) attempt(ii int, mod query.Module) bool {
 		s.res.ChecksPerDecision = append(s.res.ChecksPerDecision, int(ctr.CheckCalls+ctr.FirstFreeCycles-c0))
 		s.res.ScanWidths = append(s.res.ScanWidths, width)
 	}
+	s.sc.queue = s.queue[:0] // retain grown capacity
 	return true
 }
 
@@ -275,7 +404,7 @@ func (s *state) pop() int {
 // its currently scheduled predecessors (clamped at 0).
 func (s *state) earlyStart(v int) int {
 	estart := 0
-	for _, e := range s.preds[v] {
+	for _, e := range s.preds.at(v) {
 		if e.From == v {
 			continue // self-recurrences never constrain their own estart
 		}
@@ -331,7 +460,7 @@ func (s *state) place(v, t, altOp int) {
 	}
 	// Displace scheduled neighbors whose dependence constraints this
 	// placement violates (successors too early, predecessors too late).
-	for _, e := range s.succs[v] {
+	for _, e := range s.succs.at(v) {
 		q := e.To
 		if q == v || s.time[q] < 0 {
 			continue
@@ -340,7 +469,7 @@ func (s *state) place(v, t, altOp int) {
 			s.unschedule(q)
 		}
 	}
-	for _, e := range s.preds[v] {
+	for _, e := range s.preds.at(v) {
 		p := e.From
 		if p == v || s.time[p] < 0 {
 			continue
@@ -367,13 +496,21 @@ func (s *state) unschedule(q int) {
 // each node to any leaf. Computed by relaxation; converges because every
 // dependence cycle has non-positive weight at II >= RecMII.
 func heights(g *ddg.Graph, ii int) []int {
-	n := len(g.Nodes)
-	h := make([]int, n)
-	succs := g.Succs()
+	var succs edgeCSR
+	succs.build(g, false)
+	h := make([]int, len(g.Nodes))
+	heightsInto(h, ii, &succs)
+	return h
+}
+
+// heightsInto is heights over a caller-owned zeroed vector and a
+// prebuilt successor CSR.
+func heightsInto(h []int, ii int, succs *edgeCSR) {
+	n := len(h)
 	for pass := 0; pass <= n; pass++ {
 		changed := false
 		for v := n - 1; v >= 0; v-- {
-			for _, e := range succs[v] {
+			for _, e := range succs.at(v) {
 				if nh := h[e.To] + e.Delay - ii*e.Dist; nh > h[v] {
 					h[v] = nh
 					changed = true
@@ -384,7 +521,6 @@ func heights(g *ddg.Graph, ii int) []int {
 			break
 		}
 	}
-	return h
 }
 
 // VerifySchedule checks a successful Result against the loop and the

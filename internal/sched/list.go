@@ -2,7 +2,6 @@ package sched
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/automaton"
 	"repro/internal/ddg"
@@ -63,29 +62,80 @@ type ListResult struct {
 	Cycles   int // cycles walked by the issuer
 }
 
+// listScratch holds the reusable buffers of the acyclic schedulers
+// (ListSchedule and OperationDriven), the acyclic counterpart of
+// schedScratch. The zero value is ready to use.
+type listScratch struct {
+	prio         []int
+	preds, succs edgeCSR
+	time         []int
+	placed       []bool
+	ready        []int
+	order        []int
+	inDeg        []int
+}
+
+// resetListResult is resetResult for acyclic schedules.
+func resetListResult(res *ListResult, n int) {
+	res.Time = intsZero(res.Time, n)
+	res.Alt = intsZero(res.Alt, n)
+	res.Makespan, res.Cycles = 0, 0
+}
+
+// sortByPrio sorts ready by (priority descending, node index ascending)
+// — the total order the schedulers' previous sort.Slice comparators
+// induced, so any correct sort yields the identical permutation. The
+// insertion sort keeps arena-path scheduling allocation-free.
+func sortByPrio(ready, prio []int) {
+	for i := 1; i < len(ready); i++ {
+		v := ready[i]
+		j := i - 1
+		for j >= 0 && (prio[v] > prio[ready[j]] || (prio[v] == prio[ready[j]] && v < ready[j])) {
+			ready[j+1] = ready[j]
+			j--
+		}
+		ready[j+1] = v
+	}
+}
+
 // ListSchedule schedules an acyclic dependence graph (all edges must have
 // Dist == 0) in cycle order: at each cycle, data-ready operations are
 // tried in critical-path priority order against the issuer. It is the
 // greedy list scheduler classically paired with automaton-based
 // contention detection.
 func ListSchedule(g *ddg.Graph, e *resmodel.Expanded, iss Issuer) (ListResult, error) {
+	var lsc listScratch
+	var res ListResult
+	err := listScheduleInto(&res, g, e, iss, &lsc)
+	return res, err
+}
+
+// listScheduleInto is ListSchedule over caller-owned result and scratch
+// buffers — the arena path. Behaviour is identical to the fresh path,
+// which merely passes transient buffers.
+func listScheduleInto(res *ListResult, g *ddg.Graph, e *resmodel.Expanded, iss Issuer, lsc *listScratch) error {
 	n := len(g.Nodes)
-	res := ListResult{Time: make([]int, n), Alt: make([]int, n)}
+	resetListResult(res, n)
 	for _, edge := range g.Edges {
 		if edge.Dist != 0 {
-			return res, fmt.Errorf("sched: ListSchedule requires an acyclic graph; edge %d->%d has dist %d",
+			return fmt.Errorf("sched: ListSchedule requires an acyclic graph; edge %d->%d has dist %d",
 				edge.From, edge.To, edge.Dist)
 		}
 	}
 	if err := g.Validate(); err != nil {
-		return res, err
+		return err
 	}
 	// Critical-path priority (acyclic heights).
-	prio := heights(g, 1)
-	preds := g.Preds()
+	lsc.succs.build(g, false)
+	lsc.prio = intsZero(lsc.prio, n)
+	heightsInto(lsc.prio, 1, &lsc.succs)
+	prio := lsc.prio
+	lsc.preds.build(g, true)
+	preds := &lsc.preds
 
-	time := make([]int, n)
-	placed := make([]bool, n)
+	lsc.time = intsZero(lsc.time, n)
+	lsc.placed = boolsZero(lsc.placed, n)
+	time, placed := lsc.time, lsc.placed
 	for i := range time {
 		time[i] = -1
 	}
@@ -93,16 +143,16 @@ func ListSchedule(g *ddg.Graph, e *resmodel.Expanded, iss Issuer) (ListResult, e
 	for cycle := 0; remaining > 0; cycle++ {
 		// Safety valve: a correct issuer always makes progress eventually.
 		if cycle > 100000 {
-			return res, fmt.Errorf("sched: ListSchedule made no progress by cycle %d", cycle)
+			return fmt.Errorf("sched: ListSchedule made no progress by cycle %d", cycle)
 		}
-		var ready []int
+		ready := lsc.ready[:0]
 		for v := 0; v < n; v++ {
 			if placed[v] {
 				continue
 			}
 			est := 0
 			ok := true
-			for _, edge := range preds[v] {
+			for _, edge := range preds.at(v) {
 				if time[edge.From] < 0 {
 					ok = false
 					break
@@ -115,13 +165,8 @@ func ListSchedule(g *ddg.Graph, e *resmodel.Expanded, iss Issuer) (ListResult, e
 				ready = append(ready, v)
 			}
 		}
-		sort.Slice(ready, func(i, j int) bool {
-			a, b := ready[i], ready[j]
-			if prio[a] != prio[b] {
-				return prio[a] > prio[b]
-			}
-			return a < b
-		})
+		lsc.ready = ready[:0] // retain grown capacity
+		sortByPrio(ready, prio)
 		issued := false
 		for _, v := range ready {
 			for _, altOp := range e.AltGroup[g.Nodes[v].Op] {
@@ -164,7 +209,7 @@ func ListSchedule(g *ddg.Graph, e *resmodel.Expanded, iss Issuer) (ListResult, e
 			res.Makespan = end
 		}
 	}
-	return res, nil
+	return nil
 }
 
 // fastForwardTarget returns the earliest cycle after an empty cycle at
@@ -174,20 +219,15 @@ func ListSchedule(g *ddg.Graph, e *resmodel.Expanded, iss Issuer) (ListResult, e
 // node's alternatives. -1 means nothing can ever issue; the caller then
 // advances normally and runs into the safety valve exactly as the naive
 // walk would.
-func fastForwardTarget(g *ddg.Graph, e *resmodel.Expanded, preds [][]ddg.Edge,
+func fastForwardTarget(g *ddg.Graph, e *resmodel.Expanded, preds *edgeCSR,
 	time []int, placed []bool, rq query.RangeQuerier, cycle int) int {
 	next := -1
-	take := func(t int) {
-		if next < 0 || t < next {
-			next = t
-		}
-	}
 	for v := range g.Nodes {
 		if placed[v] {
 			continue
 		}
 		est, ok := 0, true
-		for _, edge := range preds[v] {
+		for _, edge := range preds.at(v) {
 			if time[edge.From] < 0 {
 				ok = false
 				break
@@ -200,14 +240,16 @@ func fastForwardTarget(g *ddg.Graph, e *resmodel.Expanded, preds [][]ddg.Edge,
 			continue
 		}
 		if est > cycle {
-			take(est)
+			if next < 0 || est < next {
+				next = est
+			}
 			continue
 		}
 		// Ready but resource-blocked this cycle: the next cycle any of
 		// its alternatives fits. The high bound mirrors the safety valve.
 		for _, altOp := range e.AltGroup[g.Nodes[v].Op] {
-			if t, found := rq.FirstFree(altOp, cycle+1, 100001); found {
-				take(t)
+			if t, found := rq.FirstFree(altOp, cycle+1, 100001); found && (next < 0 || t < next) {
+				next = t
 			}
 		}
 	}

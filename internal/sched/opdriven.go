@@ -2,7 +2,6 @@ package sched
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/ddg"
 	"repro/internal/query"
@@ -20,56 +19,69 @@ import (
 // automaton PairModule; the work each backend performs to support
 // arbitrary insertion is what the paper compares.
 func OperationDriven(g *ddg.Graph, e *resmodel.Expanded, mod query.Module) (ListResult, error) {
+	var lsc listScratch
+	var res ListResult
+	err := operationDrivenInto(&res, g, e, mod, &lsc)
+	return res, err
+}
+
+// operationDrivenInto is OperationDriven over caller-owned result and
+// scratch buffers — the arena path. Behaviour is identical to the fresh
+// path, which merely passes transient buffers.
+func operationDrivenInto(res *ListResult, g *ddg.Graph, e *resmodel.Expanded, mod query.Module, lsc *listScratch) error {
 	n := len(g.Nodes)
-	res := ListResult{Time: make([]int, n), Alt: make([]int, n)}
+	resetListResult(res, n)
 	for _, edge := range g.Edges {
 		if edge.Dist != 0 {
-			return res, fmt.Errorf("sched: OperationDriven requires an acyclic graph")
+			return fmt.Errorf("sched: OperationDriven requires an acyclic graph")
 		}
 	}
 	if err := g.Validate(); err != nil {
-		return res, err
+		return err
 	}
-	prio := heights(g, 1)
-	preds := g.Preds()
+	lsc.succs.build(g, false)
+	lsc.prio = intsZero(lsc.prio, n)
+	heightsInto(lsc.prio, 1, &lsc.succs)
+	prio := lsc.prio
+	lsc.preds.build(g, true)
+	preds := &lsc.preds
 
 	// Topological order via repeated selection of ready ops, highest
 	// priority first — so unrelated critical chains are scheduled before
 	// short chains, and short-chain ops later insert at EARLIER cycles.
-	placed := make([]bool, n)
-	time := make([]int, n)
-	order := make([]int, 0, n)
-	inDeg := make([]int, n)
+	lsc.placed = boolsZero(lsc.placed, n)
+	lsc.time = intsZero(lsc.time, n)
+	lsc.inDeg = intsZero(lsc.inDeg, n)
+	placed, time, inDeg := lsc.placed, lsc.time, lsc.inDeg
+	order := lsc.order[:0]
 	for _, edge := range g.Edges {
 		inDeg[edge.To]++
 	}
-	var ready []int
+	// ready is consumed from the front via a head index, so the sorted
+	// remainder is ready[head:] — the same set the slice-popping loop
+	// sorted, in the same total order.
+	ready := lsc.ready[:0]
 	for v := 0; v < n; v++ {
 		if inDeg[v] == 0 {
 			ready = append(ready, v)
 		}
 	}
-	succs := g.Succs()
-	for len(ready) > 0 {
-		sort.Slice(ready, func(i, j int) bool {
-			a, b := ready[i], ready[j]
-			if prio[a] != prio[b] {
-				return prio[a] > prio[b]
-			}
-			return a < b
-		})
-		v := ready[0]
-		ready = ready[1:]
+	succs := &lsc.succs
+	for head := 0; head < len(ready); {
+		sortByPrio(ready[head:], prio)
+		v := ready[head]
+		head++
 		order = append(order, v)
-		for _, edge := range succs[v] {
+		for _, edge := range succs.at(v) {
 			inDeg[edge.To]--
 			if inDeg[edge.To] == 0 {
 				ready = append(ready, edge.To)
 			}
 		}
 	}
+	lsc.ready, lsc.order = ready[:0], order[:0] // retain grown capacity
 	if len(order) != n {
-		return res, fmt.Errorf("sched: graph is cyclic")
+		return fmt.Errorf("sched: graph is cyclic")
 	}
 
 	// Reservation-table modules answer the whole slot search with one
@@ -80,7 +92,7 @@ func OperationDriven(g *ddg.Graph, e *resmodel.Expanded, mod query.Module) (List
 	id := 0
 	for _, v := range order {
 		estart := 0
-		for _, edge := range preds[v] {
+		for _, edge := range preds.at(v) {
 			if t := time[edge.From] + edge.Delay; t > estart {
 				estart = t
 			}
@@ -88,7 +100,7 @@ func OperationDriven(g *ddg.Graph, e *resmodel.Expanded, mod query.Module) (List
 		if rq != nil {
 			op, t, ok := rq.FirstFreeWithAlt(g.Nodes[v].Op, estart, estart+100000)
 			if !ok {
-				return res, fmt.Errorf("sched: no slot found for node %d", v)
+				return fmt.Errorf("sched: no slot found for node %d", v)
 			}
 			mod.Assign(op, t, id)
 			id++
@@ -100,7 +112,7 @@ func OperationDriven(g *ddg.Graph, e *resmodel.Expanded, mod query.Module) (List
 		found := false
 		for t := estart; !found; t++ {
 			if t > estart+100000 {
-				return res, fmt.Errorf("sched: no slot found for node %d", v)
+				return fmt.Errorf("sched: no slot found for node %d", v)
 			}
 			if op, ok := mod.CheckWithAlt(g.Nodes[v].Op, t); ok {
 				mod.Assign(op, t, id)
@@ -121,5 +133,5 @@ func OperationDriven(g *ddg.Graph, e *resmodel.Expanded, mod query.Module) (List
 			res.Cycles = time[v] + 1
 		}
 	}
-	return res, nil
+	return nil
 }

@@ -15,7 +15,9 @@ import (
 // parallel.* is deliberately excluded: tasks_per_worker and imbalance
 // describe pool shape and legitimately change with the worker count.
 // core.stage.* wall-time histograms are excluded for the same reason:
-// stage durations vary run to run.
+// stage durations vary run to run. sched.arena.* module build/reuse
+// counts depend on how many per-worker arenas exist, so they are
+// excluded too.
 func obsRun(t *testing.T, fn func()) obs.Snapshot {
 	t.Helper()
 	r := obs.Default()
@@ -26,7 +28,7 @@ func obsRun(t *testing.T, fn func()) obs.Snapshot {
 		r.Reset()
 	}()
 	fn()
-	return r.Snapshot().Filter("query", "sched", "core").Exclude("core.stage")
+	return r.Snapshot().Filter("query", "sched", "core").Exclude("core.stage", "sched.arena")
 }
 
 // TestInstrumentedRunsStayDeterministic pins the two halves of the

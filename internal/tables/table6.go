@@ -117,11 +117,12 @@ type Table6 struct {
 	ResourceReversePct float64            // % of reversals due to resources
 }
 
-// loopStats is the per-loop slice of Table 6's measurements: the summed
-// counters of every module the loop's Schedule call built, plus the
-// scheduler statistics of its result. Each worker writes only its own
-// loop's slot, and the slots are merged serially in loop order, so the
-// aggregation is race-free and reproduces the serial iteration exactly.
+// loopStats is the per-loop slice of Table 6's measurements: the query
+// counters the loop's Schedule call accumulated (an arena snapshot
+// delta), plus the scheduler statistics of its result. Each worker
+// writes only its own loop's slot, and the slots are merged serially in
+// loop order, so the aggregation is race-free and reproduces the serial
+// iteration exactly.
 type loopStats struct {
 	ctrs         query.Counters
 	reversed     int
@@ -137,35 +138,34 @@ func ComputeTable6(m *resmodel.Machine, loops []*ddg.Graph, reps []Representatio
 
 // ComputeTable6Workers is ComputeTable6 with each representation's
 // per-loop Schedule calls fanned across a bounded worker pool (workers
-// < 1 selects GOMAXPROCS). Modules are created per loop through the
-// representation's factory and never shared between workers; the
-// rendered table is byte-identical at every worker count.
+// < 1 selects GOMAXPROCS). Each worker schedules through its own
+// sched.Arena — modules are built once per worker and reset between
+// loops, never shared — and per-loop counter attribution differences
+// the arena's monotone counter snapshots around the call. The rendered
+// table is byte-identical at every worker count and to the historical
+// fresh-module-per-loop runs.
 func ComputeTable6Workers(m *resmodel.Machine, loops []*ddg.Graph, reps []Representation, workers int) *Table6 {
 	t := &Table6{CheckDistribution: map[string]float64{}}
 	for ri, rep := range reps {
 		t.Labels = append(t.Labels, rep.Label)
 		factory := rep.Factory()
 		stats := make([]loopStats, len(loops))
-		parallel.ForEach(len(loops), parallel.Workers(workers), func(i int) {
-			g := loops[i]
-			var ctrs []*query.Counters
-			wrapped := func(ii int) query.Module {
-				mod := factory(ii)
-				ctrs = append(ctrs, mod.Counters())
-				return mod
-			}
-			r := sched.Schedule(g, m, wrapped, sched.DefaultConfig())
-			if !r.OK {
-				panic(fmt.Sprintf("tables: %s: %s failed", rep.Label, g.Name))
-			}
-			s := &stats[i]
-			for _, c := range ctrs {
-				addCounters(&s.ctrs, c)
-			}
-			s.reversed = r.Reversed
-			s.resourceRev = r.ResourceEvictions
-			s.checksPerDec = r.ChecksPerDecision
-		})
+		parallel.ForEachState(len(loops), parallel.Workers(workers),
+			func() *sched.Arena { return sched.NewArena(factory) },
+			func(a *sched.Arena, i int) {
+				g := loops[i]
+				c0 := a.Counters()
+				r := a.Schedule(g, m, sched.DefaultConfig())
+				if !r.OK {
+					panic(fmt.Sprintf("tables: %s: %s failed", rep.Label, g.Name))
+				}
+				s := &stats[i]
+				s.ctrs = a.Counters()
+				s.ctrs.Sub(&c0)
+				s.reversed = r.Reversed
+				s.resourceRev = r.ResourceEvictions
+				s.checksPerDec = r.ChecksPerDecision
+			})
 
 		total := query.Counters{}
 		reversed, resourceRev := 0, 0
@@ -237,24 +237,9 @@ func perCall(work, calls int64) float64 {
 	return float64(work) / float64(calls)
 }
 
-func addCounters(dst, src *query.Counters) {
-	dst.CheckCalls += src.CheckCalls
-	dst.CheckWork += src.CheckWork
-	dst.AssignCalls += src.AssignCalls
-	dst.AssignWork += src.AssignWork
-	dst.AssignFreeCalls += src.AssignFreeCalls
-	dst.AssignFreeWork += src.AssignFreeWork
-	dst.FreeCalls += src.FreeCalls
-	dst.FreeWork += src.FreeWork
-	dst.CheckWithAltCalls += src.CheckWithAltCalls
-	dst.FirstFreeCalls += src.FirstFreeCalls
-	dst.FirstFreeWork += src.FirstFreeWork
-	dst.FirstFreeCycles += src.FirstFreeCycles
-	dst.FirstFreeWithAltCalls += src.FirstFreeWithAltCalls
-	dst.ModeTransitions += src.ModeTransitions
-	dst.Unscheduled += src.Unscheduled
-	dst.AssignFreeEvicting += src.AssignFreeEvicting
-}
+// addCounters delegates to Counters.AddFrom so the field list lives in
+// one place (the query package, next to the struct).
+func addCounters(dst, src *query.Counters) { dst.AddFrom(src) }
 
 // Render lays Table 6 out in the paper's format.
 func (t *Table6) Render() string {
