@@ -11,13 +11,15 @@
 #   make bench-reduction  regenerate BENCH_reduction.json on this host
 #   make bench-sched      regenerate BENCH_sched.json on this host
 #   make bench-throughput regenerate BENCH_throughput.json on this host
+#   make bench-serve      regenerate BENCH_serve.json on this host
 #   make bench-compare    re-measure and gate against BENCH_reduction.json,
-#                         BENCH_sched.json and BENCH_throughput.json
+#                         BENCH_sched.json, BENCH_throughput.json and
+#                         BENCH_serve.json
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet bench bench-json bench-reduction bench-sched bench-throughput bench-compare bench-alloc metrics fuzz-smoke serve-smoke check verify clean
+.PHONY: all build test race vet bench bench-json bench-reduction bench-sched bench-throughput bench-serve bench-compare bench-alloc metrics fuzz-smoke serve-smoke check verify clean
 
 all: build test
 
@@ -85,6 +87,15 @@ bench-sched:
 bench-throughput:
 	$(GO) run ./cmd/paper -bench-throughput BENCH_throughput.json
 
+# mdserve load test: the full handler stack on a loopback listener,
+# one-shot batches and stateful NDJSON session streams, at client
+# counts 1 and 8. Records req/s and p50/p99 request latency; serial_ns
+# (workload wall time) is the gated column. Commits the baseline
+# bench-compare gates against; regenerate deliberately when the serving
+# layer legitimately changes.
+bench-serve:
+	$(GO) run ./cmd/paper -bench-serve BENCH_serve.json -bench-workers 1,8
+
 # Non-tier-1 perf smoke: re-measure the per-stage, scheduler and
 # throughput reports and fail if anything regressed more than 20%
 # against the committed baselines. Wall-time gating is inherently
@@ -98,6 +109,8 @@ bench-compare:
 	$(GO) run ./cmd/benchgate -baseline BENCH_sched.json -current /tmp/BENCH_sched.current.json
 	$(GO) run ./cmd/paper -bench-throughput /tmp/BENCH_throughput.current.json -bench-workers 1,8
 	$(GO) run ./cmd/benchgate -baseline BENCH_throughput.json -current /tmp/BENCH_throughput.current.json -entries '-w[18]$$'
+	$(GO) run ./cmd/paper -bench-serve /tmp/BENCH_serve.current.json -bench-workers 1,8
+	$(GO) run ./cmd/benchgate -baseline BENCH_serve.json -current /tmp/BENCH_serve.current.json
 
 # Brief runs of the native fuzz targets. FuzzReducePreservesF fuzzes the
 # paper's theorem (reduction preserves the forbidden-latency matrix);
@@ -106,7 +119,9 @@ bench-compare:
 # fast; corpus regressions in testdata/ still run there.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReducePreservesF$$' -fuzztime $(FUZZTIME) ./internal/core/
+	$(GO) test -run '^$$' -fuzz '^FuzzParseObjective$$' -fuzztime $(FUZZTIME) ./internal/core/
 	$(GO) test -run '^$$' -fuzz '^FuzzServeBatchDecode$$' -fuzztime $(FUZZTIME) ./internal/serve/
+	$(GO) test -run '^$$' -fuzz '^FuzzServeSessionStream$$' -fuzztime $(FUZZTIME) ./internal/serve/
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/mdl/
 
 # End-to-end daemon smoke: build cmd/mdserve, boot it on an ephemeral

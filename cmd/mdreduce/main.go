@@ -28,7 +28,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"repro"
@@ -155,15 +154,5 @@ func loadMachine(file, builtin string) (*repro.Machine, error) {
 }
 
 func parseObjective(s string) (core.Objective, error) {
-	if s == "res-uses" {
-		return core.Objective{Kind: core.ResUses}, nil
-	}
-	if k, ok := strings.CutSuffix(s, "-cycle-word"); ok {
-		n, err := strconv.Atoi(k)
-		if err != nil || n < 1 {
-			return core.Objective{}, fmt.Errorf("bad objective %q", s)
-		}
-		return core.Objective{Kind: core.KCycleWord, K: n}, nil
-	}
-	return core.Objective{}, fmt.Errorf("unknown objective %q (want res-uses or <k>-cycle-word)", s)
+	return core.ParseObjective(s)
 }

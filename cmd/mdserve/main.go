@@ -9,13 +9,18 @@
 //	mdserve -preload cydra5,mips -cache 64    # boot with built-ins registered
 //
 // Endpoints (see internal/serve): POST /v1/reduce, POST /v1/batch,
+// POST /v1/sessions (+ /{id}/ops, /{id}/stream NDJSON, GET/DELETE),
 // GET /v1/machines, GET /v1/metrics, GET /healthz.
 //
-// Reductions go through a capacity-bounded content-keyed LRU (-cache),
-// requests are admitted through a concurrency gate (-max-inflight) with
-// a per-request deadline (-deadline), and SIGINT/SIGTERM trigger a
-// graceful drain: the listener closes, in-flight requests finish (up to
-// -drain), then the process exits 0.
+// Reductions go through a capacity-bounded content-keyed LRU (-cache);
+// the machine registry (-max-machines) and the scheduling-session table
+// (-max-sessions, idle expiry -session-ttl) are sharded LRU tables, so
+// no wire workload can grow the process without bound. Requests are
+// admitted through a concurrency gate (-max-inflight) with a
+// per-request deadline (-deadline); streamed sessions hold a reserved
+// stream sub-quota of the gate. SIGINT/SIGTERM trigger a graceful
+// drain: the listener closes, in-flight requests finish (up to -drain),
+// then the process exits 0.
 package main
 
 import (
@@ -47,15 +52,18 @@ func main() {
 		workers     = flag.Int("workers", 0, "reduction worker-pool size (0 = GOMAXPROCS, 1 = serial)")
 		preload     = flag.String("preload", "", "comma-separated built-in machines to register at boot: "+strings.Join(repro.BuiltinMachines(), ", "))
 		metrics     = flag.Bool("metrics", true, "collect internal/obs metrics (served at /v1/metrics)")
+		maxMachines = flag.Int("max-machines", 0, "machine-registry capacity in entries (0 = 256, <0 = unbounded)")
+		maxSessions = flag.Int("max-sessions", 0, "scheduling-session table capacity (0 = 1024, <0 = unbounded)")
+		sessionTTL  = flag.Duration("session-ttl", 0, "idle scheduling-session expiry (0 = 5m, <0 = never)")
 	)
 	flag.Parse()
-	if err := run(*addr, *cacheCap, *maxInflight, *deadline, *drain, *workers, *preload, *metrics); err != nil {
+	if err := run(*addr, *cacheCap, *maxInflight, *maxMachines, *maxSessions, *sessionTTL, *deadline, *drain, *workers, *preload, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "mdserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cacheCap, maxInflight int, deadline, drain time.Duration, workers int, preload string, metrics bool) error {
+func run(addr string, cacheCap, maxInflight, maxMachines, maxSessions int, sessionTTL, deadline, drain time.Duration, workers int, preload string, metrics bool) error {
 	if metrics {
 		obs.Default().SetEnabled(true)
 	}
@@ -67,6 +75,9 @@ func run(addr string, cacheCap, maxInflight int, deadline, drain time.Duration, 
 		MaxInFlight:    maxInflight,
 		RequestTimeout: deadline,
 		Workers:        workers,
+		MaxMachines:    maxMachines,
+		MaxSessions:    maxSessions,
+		SessionTTL:     sessionTTL,
 	})
 
 	if preload != "" {

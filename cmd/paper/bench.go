@@ -42,6 +42,12 @@ type benchEntry struct {
 	// Failed counts corpus loops the scheduler gave up on (throughput
 	// entries; the count is deterministic per corpus).
 	Failed int `json:"failed,omitempty"`
+	// ReqPerSec, P50US and P99US describe the serve load test's entries:
+	// HTTP requests completed per second of wall time and the request
+	// latency quantiles in microseconds.
+	ReqPerSec float64 `json:"req_per_sec,omitempty"`
+	P50US     int64   `json:"p50_us,omitempty"`
+	P99US     int64   `json:"p99_us,omitempty"`
 }
 
 // benchReport is the BENCH_parallel.json schema: the host's parallelism

@@ -1,0 +1,243 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/machines"
+	"repro/internal/serve"
+)
+
+// benchServeBatchOps builds the deterministic per-request op sequence of
+// the serve load test: check / range-scan / assign / free rounds, the
+// mix a list scheduler issues while placing one operation.
+func benchServeBatchOps(n int) []serve.BatchOp {
+	ops := make([]serve.BatchOp, 0, n)
+	for i := 0; len(ops)+4 <= n; i++ {
+		c := (i * 3) % 16
+		ops = append(ops,
+			serve.BatchOp{Fn: "check", Op: 0, Cycle: c},
+			serve.BatchOp{Fn: "first_free", Op: 0, Lo: 0, Hi: 31},
+			serve.BatchOp{Fn: "assign", Op: 0, Cycle: c, ID: 1},
+			serve.BatchOp{Fn: "free", Op: 0, Cycle: c, ID: 1},
+		)
+	}
+	return ops
+}
+
+// quantileUS returns the q-quantile of the sorted latency list, in
+// microseconds.
+func quantileUS(sorted []time.Duration, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i].Microseconds()
+}
+
+// runServeWorkload spreads reqs requests over workers client goroutines
+// against the running server, timing each request. do must be safe for
+// concurrent use and is handed the request index.
+func runServeWorkload(workers, reqs int, do func(i int) error) (wallNS int64, sorted []time.Duration, err error) {
+	lat := make([]time.Duration, reqs)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+	)
+	errc := make(chan error, workers)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= reqs {
+					return
+				}
+				t0 := time.Now()
+				if err := do(i); err != nil {
+					errc <- err
+					return
+				}
+				lat[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	wallNS = time.Since(start).Nanoseconds()
+	select {
+	case err = <-errc:
+		return 0, nil, err
+	default:
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return wallNS, lat, nil
+}
+
+// runBenchServe writes the mdserve load report (BENCH_serve.json,
+// benchReport schema): the full handler stack on a loopback listener,
+// driven by concurrent clients at each worker count, for the two
+// serving modes a remote scheduler uses — one-shot /v1/batch requests
+// and stateful NDJSON session streams (create, stream ops, delete).
+//
+// serial_ns holds each entry's workload wall time (the column benchgate
+// gates); req_per_sec and the p50/p99 request latencies are recorded
+// alongside. Every entry records the host shape so benchgate skips —
+// not fails — entries measured under a different core count.
+func runBenchServe(path string, workersList []int) error {
+	if len(workersList) == 0 {
+		workersList = []int{1, 8}
+	}
+	const (
+		batchReqs  = 512
+		batchOps   = 64
+		streamReqs = 64
+		streamOps  = 200
+		warmupReqs = 32
+	)
+	s := serve.New(serve.Config{MaxInFlight: 64, RequestTimeout: time.Minute})
+	if _, err := s.Register("bench", machines.Example(), core.Objective{Kind: core.ResUses}); err != nil {
+		return err
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	batchBody, err := json.Marshal(serve.BatchRequest{Machine: "bench", Ops: benchServeBatchOps(batchOps)})
+	if err != nil {
+		return err
+	}
+	postJSON := func(path string, body []byte, out any) error {
+		resp, err := client.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST %s: status %d: %s", path, resp.StatusCode, data)
+		}
+		if out != nil {
+			return json.Unmarshal(data, out)
+		}
+		return nil
+	}
+	doBatch := func(int) error {
+		return postJSON("/v1/batch", batchBody, nil)
+	}
+
+	var streamBody bytes.Buffer
+	for _, op := range benchServeBatchOps(streamOps) {
+		line, err := json.Marshal(op)
+		if err != nil {
+			return err
+		}
+		streamBody.Write(line)
+		streamBody.WriteByte('\n')
+	}
+	doStream := func(int) error {
+		var si serve.SessionInfo
+		if err := postJSON("/v1/sessions", []byte(`{"machine":"bench"}`), &si); err != nil {
+			return err
+		}
+		resp, err := client.Post(ts.URL+"/v1/sessions/"+si.SessionID+"/stream",
+			"application/x-ndjson", bytes.NewReader(streamBody.Bytes()))
+		if err != nil {
+			return err
+		}
+		lines := 0
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines++
+		}
+		resp.Body.Close()
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		if want := len(benchServeBatchOps(streamOps)) + 1; lines != want {
+			return fmt.Errorf("stream answered %d lines, want %d", lines, want)
+		}
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/"+si.SessionID, nil)
+		if err != nil {
+			return err
+		}
+		dresp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		dresp.Body.Close()
+		return nil
+	}
+
+	rep := benchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+	}
+	modes := []struct {
+		name string
+		reqs int
+		do   func(int) error
+	}{
+		{"serve-batch", batchReqs, doBatch},
+		{"serve-stream", streamReqs, doStream},
+	}
+	for _, mode := range modes {
+		// Warm the handler stack, the connection pool and the reduction
+		// cache before any timed run.
+		if _, _, err := runServeWorkload(4, warmupReqs, mode.do); err != nil {
+			return err
+		}
+		for _, w := range workersList {
+			wallNS, lat, err := runServeWorkload(w, mode.reqs, mode.do)
+			if err != nil {
+				return err
+			}
+			e := benchEntry{
+				Name:       fmt.Sprintf("%s-w%d", mode.name, w),
+				Workers:    w,
+				SerialNS:   wallNS,
+				GoMaxProcs: rep.GoMaxProcs,
+				NumCPU:     rep.NumCPU,
+				P50US:      quantileUS(lat, 0.50),
+				P99US:      quantileUS(lat, 0.99),
+			}
+			if wallNS > 0 {
+				e.ReqPerSec = float64(mode.reqs) / (float64(wallNS) / 1e9)
+			}
+			rep.Entries = append(rep.Entries, e)
+			fmt.Fprintf(os.Stderr, "paper: bench-serve: %-18s %9.1fms  %8.0f req/s  p50 %6dus  p99 %6dus\n",
+				e.Name, float64(wallNS)/1e6, e.ReqPerSec, e.P50US, e.P99US)
+		}
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d entries)\n", path, len(rep.Entries))
+	return nil
+}

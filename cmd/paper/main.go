@@ -15,6 +15,7 @@
 //	paper -bench-reduction BENCH_reduction.json  # per-stage reduction wall-time report
 //	paper -bench-throughput BENCH_throughput.json  # streamed-corpus scheduler throughput
 //	paper -bench-throughput BENCH_throughput.json -corpus 100000 -bench-workers 1,2,4,8
+//	paper -bench-serve BENCH_serve.json -bench-workers 1,8  # mdserve load test (req/s, p50/p99)
 //	paper -table 6 -metrics metrics.json   # emit a machine-readable profile
 //
 // -parallel fans the per-loop scheduling of Tables 5/6 and the kernel
@@ -57,8 +58,9 @@ func main() {
 		nParallel = flag.Int("parallel", 0, "worker-pool size for per-loop scheduling (0 = GOMAXPROCS, 1 = serial)")
 		benchJSON = flag.String("bench-json", "", "measure serial-vs-parallel wall time and write the report to this file (e.g. BENCH_parallel.json)")
 		benchRed  = flag.String("bench-reduction", "", "measure per-stage reduction wall time and write the report to this file (e.g. BENCH_reduction.json)")
-	benchSch  = flag.String("bench-sched", "", "time the IMS corpus per representation, range scan vs naive scan, and write the report to this file (e.g. BENCH_sched.json)")
+		benchSch  = flag.String("bench-sched", "", "time the IMS corpus per representation, range scan vs naive scan, and write the report to this file (e.g. BENCH_sched.json)")
 		benchThru = flag.String("bench-throughput", "", "stream a stratified corpus through per-worker scheduler arenas and write the throughput report to this file (e.g. BENCH_throughput.json)")
+		benchSrv  = flag.String("bench-serve", "", "load-test the mdserve handler stack (batch + session streams) and write the report to this file (e.g. BENCH_serve.json)")
 		corpus    = flag.Int("corpus", 100000, "streamed-corpus size for -bench-throughput")
 		benchWkrs = flag.String("bench-workers", "1,2,4,8", "comma-separated worker counts for -bench-throughput")
 		metrics   = flag.String("metrics", "", "enable the observability layer and write a JSON metrics snapshot to this file (\"-\" = stdout)")
@@ -102,6 +104,18 @@ func main() {
 			os.Exit(2)
 		}
 		if err := runBenchThroughput(*benchThru, *corpus, wl); err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchSrv != "" {
+		wl, err := parseWorkersList(*benchWkrs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+			os.Exit(2)
+		}
+		if err := runBenchServe(*benchSrv, wl); err != nil {
 			fmt.Fprintln(os.Stderr, "paper:", err)
 			os.Exit(1)
 		}

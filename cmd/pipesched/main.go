@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strconv"
 	"strings"
 
 	"repro"
@@ -153,17 +152,7 @@ func main() {
 }
 
 func parseObjective(s string) (core.Objective, error) {
-	if s == "res-uses" {
-		return core.Objective{Kind: core.ResUses}, nil
-	}
-	if k, ok := strings.CutSuffix(s, "-cycle-word"); ok {
-		n, err := strconv.Atoi(k)
-		if err != nil || n < 1 {
-			return core.Objective{}, fmt.Errorf("bad objective %q", s)
-		}
-		return core.Objective{Kind: core.KCycleWord, K: n}, nil
-	}
-	return core.Objective{}, fmt.Errorf("unknown objective %q", s)
+	return core.ParseObjective(s)
 }
 
 func fail(format string, args ...interface{}) {

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MaxObjectiveK bounds the K of a KCycleWord objective. K is the number
+// of cycle-bitvectors packed per memory word, so any real machine word
+// keeps it at or below the word size (64 today); 1024 leaves generous
+// headroom for hypothetical wide words while keeping word-geometry
+// arithmetic (cycle/K, span/K grouping) far from overflow and rejecting
+// the absurd geometries an untrusted wire request could otherwise
+// demand.
+const MaxObjectiveK = 1024
+
+// ParseObjective parses a reduction-objective string: "" or "res-uses"
+// for the discrete objective, "<k>-cycle-word" for the bitvector one
+// with 1 <= k <= MaxObjectiveK. It is the single parser behind the
+// serve wire format and the mdreduce/pipesched command-line flags, so
+// the accepted grammar (and the K bound) cannot diverge between them.
+func ParseObjective(s string) (Objective, error) {
+	if s == "" || s == "res-uses" {
+		return Objective{Kind: ResUses}, nil
+	}
+	if k, ok := strings.CutSuffix(s, "-cycle-word"); ok {
+		n, err := strconv.Atoi(k)
+		if err != nil || n < 1 {
+			return Objective{}, fmt.Errorf("bad objective %q", s)
+		}
+		obj := Objective{Kind: KCycleWord, K: n}
+		if err := obj.Validate(); err != nil {
+			return Objective{}, fmt.Errorf("bad objective %q: %v", s, err)
+		}
+		return obj, nil
+	}
+	return Objective{}, fmt.Errorf("unknown objective %q (want res-uses or <k>-cycle-word)", s)
+}

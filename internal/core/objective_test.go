@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestParseObjective(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Objective
+		ok   bool
+	}{
+		{"", Objective{Kind: ResUses}, true},
+		{"res-uses", Objective{Kind: ResUses}, true},
+		{"1-cycle-word", Objective{Kind: KCycleWord, K: 1}, true},
+		{"64-cycle-word", Objective{Kind: KCycleWord, K: 64}, true},
+		{fmt.Sprintf("%d-cycle-word", MaxObjectiveK), Objective{Kind: KCycleWord, K: MaxObjectiveK}, true},
+		{fmt.Sprintf("%d-cycle-word", MaxObjectiveK+1), Objective{}, false},
+		{"99999999999-cycle-word", Objective{}, false},
+		{"1073741824-cycle-word", Objective{}, false}, // the wire crasher shape: absurd word geometry
+		{"0-cycle-word", Objective{}, false},
+		{"-3-cycle-word", Objective{}, false},
+		{"x-cycle-word", Objective{}, false},
+		{"cycle-word", Objective{}, false},
+		{"res-uses ", Objective{}, false},
+		{"zero-cycle", Objective{}, false},
+	} {
+		got, err := ParseObjective(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseObjective(%q): err=%v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseObjective(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// FuzzParseObjective pins the shared objective grammar (wire format and
+// mdreduce/pipesched flags): parsing never panics, anything accepted
+// validates (in particular K stays within MaxObjectiveK), and the
+// accepted form round-trips through String.
+func FuzzParseObjective(f *testing.F) {
+	f.Add("")
+	f.Add("res-uses")
+	f.Add("1-cycle-word")
+	f.Add("64-cycle-word")
+	f.Add("1024-cycle-word")
+	f.Add("1073741824-cycle-word") // the wire crasher shape: absurd word geometry
+	f.Add("99999999999999999999-cycle-word")
+	f.Add("-3-cycle-word")
+	f.Add("0-cycle-word")
+	f.Add("x-cycle-word")
+	f.Add("res-uses\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		obj, err := ParseObjective(s)
+		if err != nil {
+			return
+		}
+		if err := obj.Validate(); err != nil {
+			t.Fatalf("ParseObjective(%q) accepted an invalid objective %+v: %v", s, obj, err)
+		}
+		if obj.Kind == KCycleWord && (obj.K < 1 || obj.K > MaxObjectiveK) {
+			t.Fatalf("ParseObjective(%q) accepted K=%d outside [1, %d]", s, obj.K, MaxObjectiveK)
+		}
+	})
+}
+
+func TestValidateBoundsK(t *testing.T) {
+	if err := (Objective{Kind: KCycleWord, K: MaxObjectiveK}).Validate(); err != nil {
+		t.Errorf("K=MaxObjectiveK rejected: %v", err)
+	}
+	if err := (Objective{Kind: KCycleWord, K: MaxObjectiveK + 1}).Validate(); err == nil {
+		t.Error("K above MaxObjectiveK accepted")
+	}
+	if err := (Objective{Kind: KCycleWord, K: 1 << 40}).Validate(); err == nil {
+		t.Error("absurd K accepted")
+	}
+}

@@ -49,6 +49,9 @@ func (o Objective) Validate() error {
 		if o.K < 1 {
 			return fmt.Errorf("core: KCycleWord objective requires K >= 1, got %d", o.K)
 		}
+		if o.K > MaxObjectiveK {
+			return fmt.Errorf("core: KCycleWord objective requires K <= %d, got %d", MaxObjectiveK, o.K)
+		}
 		return nil
 	}
 	return fmt.Errorf("core: unknown objective kind %d", o.Kind)

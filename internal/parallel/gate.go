@@ -1,6 +1,9 @@
 package parallel
 
-import "context"
+import (
+	"context"
+	"sync/atomic"
+)
 
 // Gate is a concurrency-limiting admission gate: a counting semaphore
 // whose Acquire honours context cancellation. Long-running servers
@@ -8,8 +11,21 @@ import "context"
 // reduce/query paths at once; excess requests wait until a slot frees or
 // their deadline expires, bounding both CPU oversubscription and the
 // peak memory of concurrently-built query modules.
+//
+// Long-lived holders (streaming query sessions, which keep a slot for
+// the whole conversation rather than one request) are admitted through
+// AcquireStream, which draws from a reserved sub-quota of StreamCap()
+// slots: streams can never occupy every slot, so one-shot requests
+// cannot be starved by an arbitrary number of open streams, and the gate
+// accounts for them separately (Streams()).
 type Gate struct {
 	slots chan struct{}
+	// streamSlots sub-limits long-lived holders; a stream holds one
+	// streamSlot AND one regular slot (acquired in that order, released
+	// in reverse, so the two semaphores cannot deadlock against each
+	// other).
+	streamSlots chan struct{}
+	streams     atomic.Int64
 }
 
 // NewGate returns a gate admitting at most n concurrent holders.
@@ -19,7 +35,16 @@ func NewGate(n int) *Gate {
 	if n < 1 {
 		n = 1
 	}
-	return &Gate{slots: make(chan struct{}, n)}
+	streamCap := n - 1
+	if streamCap < 1 {
+		// A 1-slot gate cannot reserve a slot for one-shots and still
+		// admit streams at all; admitting one stream is the lesser evil.
+		streamCap = 1
+	}
+	return &Gate{
+		slots:       make(chan struct{}, n),
+		streamSlots: make(chan struct{}, streamCap),
+	}
 }
 
 // Acquire blocks until a slot is free or ctx is done, returning ctx.Err()
@@ -59,8 +84,50 @@ func (g *Gate) Release() {
 	}
 }
 
+// AcquireStream admits a long-lived holder: it blocks until both a
+// stream slot (of the StreamCap() reserved sub-quota) and a regular slot
+// are free, or ctx is done, returning ctx.Err() in the latter case.
+// Release with ReleaseStream.
+func (g *Gate) AcquireStream(ctx context.Context) error {
+	select {
+	case g.streamSlots <- struct{}{}:
+	default:
+		select {
+		case g.streamSlots <- struct{}{}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if err := g.Acquire(ctx); err != nil {
+		<-g.streamSlots
+		return err
+	}
+	g.streams.Add(1)
+	return nil
+}
+
+// ReleaseStream frees the pair of slots taken by AcquireStream.
+// Releasing without a matching AcquireStream is a programming error and
+// panics.
+func (g *Gate) ReleaseStream() {
+	if g.streams.Add(-1) < 0 {
+		g.streams.Add(1)
+		panic("parallel: Gate.ReleaseStream without matching AcquireStream")
+	}
+	g.Release()
+	<-g.streamSlots
+}
+
 // Cap returns the number of concurrent holders the gate admits.
 func (g *Gate) Cap() int { return cap(g.slots) }
 
+// StreamCap returns the number of concurrent long-lived holders the gate
+// admits: Cap()-1 (so streams can never occupy every slot), floored at 1.
+func (g *Gate) StreamCap() int { return cap(g.streamSlots) }
+
 // InFlight returns the number of slots currently held.
 func (g *Gate) InFlight() int { return len(g.slots) }
+
+// Streams returns the number of long-lived holders currently admitted
+// through AcquireStream.
+func (g *Gate) Streams() int64 { return g.streams.Load() }

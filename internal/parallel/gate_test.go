@@ -104,3 +104,81 @@ func TestGateClampsCapacity(t *testing.T) {
 		t.Fatalf("NewGate(-5).Cap() = %d, want 1", got)
 	}
 }
+
+func TestGateStreamQuotaLeavesOneShotSlot(t *testing.T) {
+	g := NewGate(3)
+	if g.StreamCap() != 2 {
+		t.Fatalf("StreamCap() = %d, want 2", g.StreamCap())
+	}
+	ctx := context.Background()
+	if err := g.AcquireStream(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AcquireStream(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if g.Streams() != 2 || g.InFlight() != 2 {
+		t.Fatalf("Streams()=%d InFlight()=%d, want 2/2", g.Streams(), g.InFlight())
+	}
+	// The stream quota is exhausted; a third stream must time out even
+	// though a regular slot is still free...
+	short, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if err := g.AcquireStream(short); err != context.DeadlineExceeded {
+		t.Fatalf("third stream: err=%v, want deadline exceeded", err)
+	}
+	// ...and that regular slot is still available to a one-shot request.
+	if !g.TryAcquire() {
+		t.Fatal("streams starved the reserved one-shot slot")
+	}
+	g.Release()
+	g.ReleaseStream()
+	g.ReleaseStream()
+	if g.Streams() != 0 || g.InFlight() != 0 {
+		t.Fatalf("after release: Streams()=%d InFlight()=%d, want 0/0", g.Streams(), g.InFlight())
+	}
+}
+
+func TestGateStreamBlockedOnRegularSlotReleasesQuota(t *testing.T) {
+	// With every regular slot held by one-shots, a stream acquire must
+	// fail at the deadline and give its stream-quota slot back.
+	g := NewGate(2)
+	if !g.TryAcquire() || !g.TryAcquire() {
+		t.Fatal("could not fill the gate")
+	}
+	short, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := g.AcquireStream(short); err != context.DeadlineExceeded {
+		t.Fatalf("stream on full gate: err=%v, want deadline exceeded", err)
+	}
+	g.Release()
+	// The failed acquire must not leak its stream slot: StreamCap() is 1
+	// here, so a leak would make this acquire hang.
+	ok, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	if err := g.AcquireStream(ok); err != nil {
+		t.Fatalf("stream after freeing a slot: %v", err)
+	}
+	g.ReleaseStream()
+	g.Release()
+}
+
+func TestGateReleaseStreamWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ReleaseStream without AcquireStream did not panic")
+		}
+	}()
+	NewGate(2).ReleaseStream()
+}
+
+func TestGateSingleSlotStillAdmitsStreams(t *testing.T) {
+	g := NewGate(1)
+	if g.StreamCap() != 1 {
+		t.Fatalf("StreamCap() = %d, want 1", g.StreamCap())
+	}
+	if err := g.AcquireStream(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	g.ReleaseStream()
+}

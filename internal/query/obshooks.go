@@ -28,9 +28,9 @@ type moduleObs struct {
 	firstFree                       fnObs
 	checkWithAlt                    *obs.Counter
 	firstFreeWithAlt                *obs.Counter
-	firstFreeSkips                 *obs.Counter
-	evictions                      *obs.Counter
-	modeTransitions                *obs.Counter
+	firstFreeSkips                  *obs.Counter
+	evictions                       *obs.Counter
+	modeTransitions                 *obs.Counter
 }
 
 // newModuleObs acquires the "query.<kind>" scope handles, or nil while

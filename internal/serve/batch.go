@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/obs"
@@ -33,7 +34,7 @@ type BatchRequest struct {
 	Ops []BatchOp `json:"ops"`
 }
 
-// BatchOp is one query of a batch.
+// BatchOp is one query of a batch or session request.
 type BatchOp struct {
 	// Fn is "check", "assign", "assign_free", "free", "check_with_alt",
 	// "first_free" or "first_free_alt".
@@ -87,6 +88,324 @@ func errf(status int, format string, args ...any) *httpError {
 // overflow on every platform.
 const maxModuloCycle = 1 << 30
 
+// expandedFor returns the description variant the given use string
+// selects ("original" or anything else = "reduced").
+func (me *machineEntry) expandedFor(use string) *resmodel.Expanded {
+	if use == "original" {
+		return me.expanded
+	}
+	return me.red.Reduced
+}
+
+// buildModule validates the module configuration of a batch or session
+// request and constructs a fresh query module over the selected
+// description variant. It returns the normalized use/representation
+// strings (defaults applied) alongside the module; every invalid
+// configuration maps to a 4xx httpError.
+func (s *Server) buildModule(me *machineEntry, use, rep string, k, wordBits, ii int) (
+	e *resmodel.Expanded, mod query.Module, useOut, repOut string, herr *httpError) {
+	switch use {
+	case "":
+		use = "reduced"
+	case "reduced", "original":
+	default:
+		return nil, nil, "", "", errf(http.StatusBadRequest, "bad use %q (want reduced or original)", use)
+	}
+	e = me.expandedFor(use)
+
+	if ii < 0 || ii > s.cfg.MaxCycle {
+		return nil, nil, "", "", errf(http.StatusBadRequest, "ii %d out of range [0, %d]", ii, s.cfg.MaxCycle)
+	}
+
+	switch rep {
+	case "", "discrete":
+		rep = "discrete"
+		mod = query.NewDiscrete(e, ii)
+	case "bitvector":
+		if wordBits == 0 {
+			wordBits = 64
+		}
+		if k == 0 {
+			k = query.MaxCyclesPerWord(len(e.Resources), wordBits)
+		}
+		var err error
+		mod, err = query.NewBitvector(e, k, wordBits, ii)
+		if err != nil {
+			return nil, nil, "", "", errf(http.StatusBadRequest, "%v", err)
+		}
+	default:
+		return nil, nil, "", "", errf(http.StatusBadRequest, "bad representation %q (want discrete or bitvector)", rep)
+	}
+	return e, mod, use, rep, nil
+}
+
+// placed records where a live instance was scheduled so frees and id
+// reuse are validated instead of corrupting (or panicking inside) the
+// module.
+type placed struct{ op, cycle int }
+
+// opResult is the value-typed answer to one op, filled in place by
+// opExec.exec so the steady state of a long-lived session allocates
+// nothing per op. Convert with toBatchResult (batch responses, which
+// need stable per-result pointers) or appendJSON (NDJSON streaming,
+// which marshals immediately and byte-identically to
+// json.Marshal(BatchResult)).
+type opResult struct {
+	hasOK, ok bool
+	hasAlt    bool
+	alt       int
+	hasCycle  bool
+	cycle     int
+	evicted   []int // module-owned scratch; copy to retain past the next op
+}
+
+func (r *opResult) reset() { *r = opResult{} }
+
+// toBatchResult detaches the result into the wire struct, allocating
+// fresh pointer cells and copying the evicted list.
+func (r *opResult) toBatchResult() BatchResult {
+	var out BatchResult
+	if r.hasOK {
+		ok := r.ok
+		out.OK = &ok
+	}
+	if r.hasAlt {
+		v := r.alt
+		out.AltOp = &v
+	}
+	if r.hasCycle {
+		v := r.cycle
+		out.Cycle = &v
+	}
+	if len(r.evicted) > 0 {
+		out.Evicted = append([]int(nil), r.evicted...)
+	}
+	return out
+}
+
+// appendJSON appends the result's JSON encoding to b, byte-identical to
+// json.Marshal of the equivalent BatchResult (same field order, same
+// omitempty behaviour) without allocating. TestOpResultJSONMatchesMarshal
+// pins the equivalence.
+func (r *opResult) appendJSON(b []byte) []byte {
+	b = append(b, '{')
+	first := true
+	comma := func() {
+		if !first {
+			b = append(b, ',')
+		}
+		first = false
+	}
+	if r.hasOK {
+		comma()
+		b = append(b, `"ok":`...)
+		b = strconv.AppendBool(b, r.ok)
+	}
+	if r.hasAlt {
+		comma()
+		b = append(b, `"alt_op":`...)
+		b = strconv.AppendInt(b, int64(r.alt), 10)
+	}
+	if r.hasCycle {
+		comma()
+		b = append(b, `"cycle":`...)
+		b = strconv.AppendInt(b, int64(r.cycle), 10)
+	}
+	if len(r.evicted) > 0 {
+		comma()
+		b = append(b, `"evicted":[`...)
+		for i, id := range r.evicted {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendInt(b, int64(id), 10)
+		}
+		b = append(b, ']')
+	}
+	return append(b, '}')
+}
+
+// opExec executes validated ops against one query module, tracking the
+// partial schedule's live instances. It is the single op interpreter
+// shared by the one-shot batch endpoint and by scheduling sessions, so
+// validation and result semantics cannot diverge between them. Every
+// malformed or semantically invalid op returns a 4xx httpError before it
+// can reach a code path that panics (out-of-range indices, negative
+// linear cycles, assign-on-conflict, free of unknown instances); the
+// fuzz harness pins this.
+type opExec struct {
+	e        *resmodel.Expanded
+	mod      query.Module
+	rq       query.RangeQuerier // nil when the representation has none
+	rep      string
+	ii       int
+	maxCycle int
+	live     map[int]placed
+}
+
+func newOpExec(e *resmodel.Expanded, mod query.Module, rep string, ii, maxCycle int) *opExec {
+	rq, _ := mod.(query.RangeQuerier)
+	return &opExec{
+		e:        e,
+		mod:      mod,
+		rq:       rq,
+		rep:      rep,
+		ii:       ii,
+		maxCycle: maxCycle,
+		live:     map[int]placed{},
+	}
+}
+
+// checkCycle validates one scheduling cycle under the table's cycle cap.
+func (x *opExec) checkCycle(i, cycle int) *httpError {
+	if x.ii > 0 {
+		if cycle < -maxModuloCycle || cycle > maxModuloCycle {
+			return errf(http.StatusBadRequest, "op %d: cycle %d out of range on modulo table", i, cycle)
+		}
+		return nil
+	}
+	if cycle < 0 || cycle > x.maxCycle {
+		return errf(http.StatusBadRequest, "op %d: cycle %d out of range [0, %d] on linear table", i, cycle, x.maxCycle)
+	}
+	return nil
+}
+
+// checkRange validates a first_free window: both bounds obey the same
+// cycle caps as per-cycle queries, and the range must be non-empty
+// (lo <= hi) so a client typo cannot silently read back "no slot".
+func (x *opExec) checkRange(i int, op *BatchOp) *httpError {
+	if op.Lo > op.Hi {
+		return errf(http.StatusBadRequest, "op %d: empty cycle range [%d, %d]", i, op.Lo, op.Hi)
+	}
+	for _, c := range [2]int{op.Lo, op.Hi} {
+		if x.ii > 0 {
+			if c < -maxModuloCycle || c > maxModuloCycle {
+				return errf(http.StatusBadRequest, "op %d: range bound %d out of range on modulo table", i, c)
+			}
+			continue
+		}
+		if c < 0 || c > x.maxCycle {
+			return errf(http.StatusBadRequest, "op %d: range bound %d out of range [0, %d] on linear table", i, c, x.maxCycle)
+		}
+	}
+	return nil
+}
+
+// exec validates and runs one op, filling res (which it resets first).
+// i is the op's index in its request, used for error messages only.
+func (x *opExec) exec(i int, op *BatchOp, res *opResult) *httpError {
+	res.reset()
+	if herr := x.checkCycle(i, op.Cycle); herr != nil {
+		return herr
+	}
+	switch op.Fn {
+	case "check":
+		if op.Op < 0 || op.Op >= len(x.e.Ops) {
+			return errf(http.StatusBadRequest, "op %d: expanded-op index %d out of range [0, %d)", i, op.Op, len(x.e.Ops))
+		}
+		res.hasOK = true
+		res.ok = x.mod.Check(op.Op, op.Cycle)
+	case "check_with_alt":
+		if op.Op < 0 || op.Op >= len(x.e.AltGroup) {
+			return errf(http.StatusBadRequest, "op %d: original-op index %d out of range [0, %d)", i, op.Op, len(x.e.AltGroup))
+		}
+		alt, ok := x.mod.CheckWithAlt(op.Op, op.Cycle)
+		res.hasOK = true
+		res.ok = ok
+		if ok {
+			res.hasAlt = true
+			res.alt = alt
+		}
+	case "first_free":
+		if x.rq == nil {
+			return errf(http.StatusBadRequest, "op %d: representation %q does not support range queries", i, x.rep)
+		}
+		if op.Op < 0 || op.Op >= len(x.e.Ops) {
+			return errf(http.StatusBadRequest, "op %d: expanded-op index %d out of range [0, %d)", i, op.Op, len(x.e.Ops))
+		}
+		if herr := x.checkRange(i, op); herr != nil {
+			return herr
+		}
+		cycle, ok := x.rq.FirstFree(op.Op, op.Lo, op.Hi)
+		res.hasOK = true
+		res.ok = ok
+		if ok {
+			res.hasCycle = true
+			res.cycle = cycle
+		}
+	case "first_free_alt":
+		if x.rq == nil {
+			return errf(http.StatusBadRequest, "op %d: representation %q does not support range queries", i, x.rep)
+		}
+		if op.Op < 0 || op.Op >= len(x.e.AltGroup) {
+			return errf(http.StatusBadRequest, "op %d: original-op index %d out of range [0, %d)", i, op.Op, len(x.e.AltGroup))
+		}
+		if herr := x.checkRange(i, op); herr != nil {
+			return herr
+		}
+		alt, cycle, ok := x.rq.FirstFreeWithAlt(op.Op, op.Lo, op.Hi)
+		res.hasOK = true
+		res.ok = ok
+		if ok {
+			res.hasAlt = true
+			res.alt = alt
+			res.hasCycle = true
+			res.cycle = cycle
+		}
+	case "assign":
+		if op.Op < 0 || op.Op >= len(x.e.Ops) {
+			return errf(http.StatusBadRequest, "op %d: expanded-op index %d out of range [0, %d)", i, op.Op, len(x.e.Ops))
+		}
+		if op.ID < 0 {
+			return errf(http.StatusBadRequest, "op %d: negative instance id %d", i, op.ID)
+		}
+		if _, used := x.live[op.ID]; used {
+			return errf(http.StatusBadRequest, "op %d: instance id %d already scheduled", i, op.ID)
+		}
+		if !x.mod.Check(op.Op, op.Cycle) {
+			return errf(http.StatusConflict, "op %d: assign of op %d at cycle %d conflicts (check first, or use assign_free)", i, op.Op, op.Cycle)
+		}
+		x.mod.Assign(op.Op, op.Cycle, op.ID)
+		x.live[op.ID] = placed{op.Op, op.Cycle}
+	case "assign_free":
+		if op.Op < 0 || op.Op >= len(x.e.Ops) {
+			return errf(http.StatusBadRequest, "op %d: expanded-op index %d out of range [0, %d)", i, op.Op, len(x.e.Ops))
+		}
+		if op.ID < 0 {
+			return errf(http.StatusBadRequest, "op %d: negative instance id %d", i, op.ID)
+		}
+		if _, used := x.live[op.ID]; used {
+			return errf(http.StatusBadRequest, "op %d: instance id %d already scheduled", i, op.ID)
+		}
+		if !x.mod.Schedulable(op.Op) {
+			return errf(http.StatusConflict, "op %d: op %d is unschedulable at II=%d", i, op.Op, x.ii)
+		}
+		ev := x.mod.AssignFree(op.Op, op.Cycle, op.ID)
+		// ev is module-owned scratch, valid until the next module call;
+		// consumers that retain results past this op must copy it
+		// (toBatchResult does).
+		res.evicted = ev
+		for _, id := range ev {
+			delete(x.live, id)
+		}
+		x.live[op.ID] = placed{op.Op, op.Cycle}
+	case "free":
+		in, ok := x.live[op.ID]
+		if !ok {
+			return errf(http.StatusBadRequest, "op %d: free of unscheduled instance id %d", i, op.ID)
+		}
+		if in.op != op.Op || in.cycle != op.Cycle {
+			return errf(http.StatusBadRequest, "op %d: free of instance %d with op/cycle %d/%d, scheduled as %d/%d",
+				i, op.ID, op.Op, op.Cycle, in.op, in.cycle)
+		}
+		x.mod.Free(op.Op, op.Cycle, op.ID)
+		delete(x.live, op.ID)
+	default:
+		return errf(http.StatusBadRequest, "op %d: bad fn %q (want check, assign, assign_free, free, check_with_alt, first_free or first_free_alt)", i, op.Fn)
+	}
+	return nil
+}
+
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	obs.Inc("serve.batch.requests")
 	start := time.Now()
@@ -95,12 +414,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	sess := s.lookup(req.Machine)
-	if sess == nil {
+	me := s.lookup(req.Machine)
+	if me == nil {
 		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown machine %q (register it via /v1/reduce)", req.Machine))
 		return
 	}
-	resp, herr := s.execBatch(r, sess, &req)
+	resp, herr := s.execBatch(r, me, &req)
 	if herr != nil {
 		writeErr(w, herr.status, herr.msg)
 		return
@@ -110,98 +429,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// execBatch validates and runs one batch on a fresh module. Every
-// malformed or semantically invalid input returns a 4xx httpError before
-// it can reach a code path that panics (out-of-range indices, negative
-// linear cycles, assign-on-conflict, free of unknown instances); the
-// fuzz harness pins this.
-func (s *Server) execBatch(r *http.Request, sess *session, req *BatchRequest) (*BatchResponse, *httpError) {
-	use := req.Use
-	switch use {
-	case "":
-		use = "reduced"
-	case "reduced", "original":
-	default:
-		return nil, errf(http.StatusBadRequest, "bad use %q (want reduced or original)", req.Use)
-	}
-	e := sess.red.Reduced
-	if use == "original" {
-		e = sess.expanded
-	}
-
-	if req.II < 0 || req.II > s.cfg.MaxCycle {
-		return nil, errf(http.StatusBadRequest, "ii %d out of range [0, %d]", req.II, s.cfg.MaxCycle)
-	}
+// execBatch validates and runs one batch on a fresh module.
+func (s *Server) execBatch(r *http.Request, me *machineEntry, req *BatchRequest) (*BatchResponse, *httpError) {
 	if len(req.Ops) > s.cfg.MaxBatchOps {
 		return nil, errf(http.StatusBadRequest, "batch has %d ops, limit %d", len(req.Ops), s.cfg.MaxBatchOps)
 	}
-
-	rep := req.Representation
-	var mod query.Module
-	switch rep {
-	case "", "discrete":
-		rep = "discrete"
-		mod = query.NewDiscrete(e, req.II)
-	case "bitvector":
-		wordBits := req.WordBits
-		if wordBits == 0 {
-			wordBits = 64
-		}
-		k := req.K
-		if k == 0 {
-			k = query.MaxCyclesPerWord(len(e.Resources), wordBits)
-		}
-		var err error
-		mod, err = query.NewBitvector(e, k, wordBits, req.II)
-		if err != nil {
-			return nil, errf(http.StatusBadRequest, "%v", err)
-		}
-	default:
-		return nil, errf(http.StatusBadRequest, "bad representation %q (want discrete or bitvector)", req.Representation)
+	e, mod, use, rep, herr := s.buildModule(me, req.Use, req.Representation, req.K, req.WordBits, req.II)
+	if herr != nil {
+		return nil, herr
 	}
-
-	// live mirrors the module's scheduled-instance state so frees and id
-	// reuse are validated instead of corrupting (or panicking inside)
-	// the module.
-	type placed struct{ op, cycle int }
-	live := map[int]placed{}
+	x := newOpExec(e, mod, rep, req.II, s.cfg.MaxCycle)
 	results := make([]BatchResult, 0, len(req.Ops))
-
-	checkCycle := func(i int, op BatchOp) *httpError {
-		if req.II > 0 {
-			if op.Cycle < -maxModuloCycle || op.Cycle > maxModuloCycle {
-				return errf(http.StatusBadRequest, "op %d: cycle %d out of range on modulo table", i, op.Cycle)
-			}
-			return nil
-		}
-		if op.Cycle < 0 || op.Cycle > s.cfg.MaxCycle {
-			return errf(http.StatusBadRequest, "op %d: cycle %d out of range [0, %d] on linear table", i, op.Cycle, s.cfg.MaxCycle)
-		}
-		return nil
-	}
-	// checkRange validates a first_free window: both bounds obey the same
-	// cycle caps as per-cycle queries, and the range must be non-empty
-	// (lo <= hi) so a client typo cannot silently read back "no slot".
-	checkRange := func(i int, op BatchOp) *httpError {
-		if op.Lo > op.Hi {
-			return errf(http.StatusBadRequest, "op %d: empty cycle range [%d, %d]", i, op.Lo, op.Hi)
-		}
-		for _, c := range [2]int{op.Lo, op.Hi} {
-			if req.II > 0 {
-				if c < -maxModuloCycle || c > maxModuloCycle {
-					return errf(http.StatusBadRequest, "op %d: range bound %d out of range on modulo table", i, c)
-				}
-				continue
-			}
-			if c < 0 || c > s.cfg.MaxCycle {
-				return errf(http.StatusBadRequest, "op %d: range bound %d out of range [0, %d] on linear table", i, c, s.cfg.MaxCycle)
-			}
-		}
-		return nil
-	}
-	rq, _ := mod.(query.RangeQuerier)
-
-	for i, op := range req.Ops {
+	var res opResult
+	for i := range req.Ops {
 		// A long batch re-checks its deadline periodically so a drained
 		// or timed-out request stops doing work.
 		if i&0x1ff == 0 {
@@ -209,131 +449,17 @@ func (s *Server) execBatch(r *http.Request, sess *session, req *BatchRequest) (*
 				return nil, errf(http.StatusServiceUnavailable, "request deadline exceeded at op %d of %d", i, len(req.Ops))
 			}
 		}
-		if herr := checkCycle(i, op); herr != nil {
+		if herr := x.exec(i, &req.Ops[i], &res); herr != nil {
 			return nil, herr
 		}
-		switch op.Fn {
-		case "check":
-			if op.Op < 0 || op.Op >= len(e.Ops) {
-				return nil, errf(http.StatusBadRequest, "op %d: expanded-op index %d out of range [0, %d)", i, op.Op, len(e.Ops))
-			}
-			ok := mod.Check(op.Op, op.Cycle)
-			results = append(results, BatchResult{OK: &ok})
-		case "check_with_alt":
-			if op.Op < 0 || op.Op >= len(e.AltGroup) {
-				return nil, errf(http.StatusBadRequest, "op %d: original-op index %d out of range [0, %d)", i, op.Op, len(e.AltGroup))
-			}
-			alt, ok := mod.CheckWithAlt(op.Op, op.Cycle)
-			res := BatchResult{OK: &ok}
-			if ok {
-				res.AltOp = &alt
-			}
-			results = append(results, res)
-		case "first_free":
-			if rq == nil {
-				return nil, errf(http.StatusBadRequest, "op %d: representation %q does not support range queries", i, rep)
-			}
-			if op.Op < 0 || op.Op >= len(e.Ops) {
-				return nil, errf(http.StatusBadRequest, "op %d: expanded-op index %d out of range [0, %d)", i, op.Op, len(e.Ops))
-			}
-			if herr := checkRange(i, op); herr != nil {
-				return nil, herr
-			}
-			cycle, ok := rq.FirstFree(op.Op, op.Lo, op.Hi)
-			res := BatchResult{OK: &ok}
-			if ok {
-				res.Cycle = &cycle
-			}
-			results = append(results, res)
-		case "first_free_alt":
-			if rq == nil {
-				return nil, errf(http.StatusBadRequest, "op %d: representation %q does not support range queries", i, rep)
-			}
-			if op.Op < 0 || op.Op >= len(e.AltGroup) {
-				return nil, errf(http.StatusBadRequest, "op %d: original-op index %d out of range [0, %d)", i, op.Op, len(e.AltGroup))
-			}
-			if herr := checkRange(i, op); herr != nil {
-				return nil, herr
-			}
-			alt, cycle, ok := rq.FirstFreeWithAlt(op.Op, op.Lo, op.Hi)
-			res := BatchResult{OK: &ok}
-			if ok {
-				res.AltOp = &alt
-				res.Cycle = &cycle
-			}
-			results = append(results, res)
-		case "assign":
-			if op.Op < 0 || op.Op >= len(e.Ops) {
-				return nil, errf(http.StatusBadRequest, "op %d: expanded-op index %d out of range [0, %d)", i, op.Op, len(e.Ops))
-			}
-			if op.ID < 0 {
-				return nil, errf(http.StatusBadRequest, "op %d: negative instance id %d", i, op.ID)
-			}
-			if _, used := live[op.ID]; used {
-				return nil, errf(http.StatusBadRequest, "op %d: instance id %d already scheduled", i, op.ID)
-			}
-			if !mod.Check(op.Op, op.Cycle) {
-				return nil, errf(http.StatusConflict, "op %d: assign of op %d at cycle %d conflicts (check first, or use assign_free)", i, op.Op, op.Cycle)
-			}
-			mod.Assign(op.Op, op.Cycle, op.ID)
-			live[op.ID] = placed{op.Op, op.Cycle}
-			results = append(results, BatchResult{})
-		case "assign_free":
-			if op.Op < 0 || op.Op >= len(e.Ops) {
-				return nil, errf(http.StatusBadRequest, "op %d: expanded-op index %d out of range [0, %d)", i, op.Op, len(e.Ops))
-			}
-			if op.ID < 0 {
-				return nil, errf(http.StatusBadRequest, "op %d: negative instance id %d", i, op.ID)
-			}
-			if _, used := live[op.ID]; used {
-				return nil, errf(http.StatusBadRequest, "op %d: instance id %d already scheduled", i, op.ID)
-			}
-			if !mod.Schedulable(op.Op) {
-				return nil, errf(http.StatusConflict, "op %d: op %d is unschedulable at II=%d", i, op.Op, req.II)
-			}
-			ev := mod.AssignFree(op.Op, op.Cycle, op.ID)
-			res := BatchResult{}
-			if len(ev) > 0 {
-				// The module may reuse the backing array across calls;
-				// the response needs a stable copy.
-				res.Evicted = append([]int(nil), ev...)
-				for _, id := range ev {
-					delete(live, id)
-				}
-			}
-			live[op.ID] = placed{op.Op, op.Cycle}
-			results = append(results, res)
-		case "free":
-			in, ok := live[op.ID]
-			if !ok {
-				return nil, errf(http.StatusBadRequest, "op %d: free of unscheduled instance id %d", i, op.ID)
-			}
-			if in.op != op.Op || in.cycle != op.Cycle {
-				return nil, errf(http.StatusBadRequest, "op %d: free of instance %d with op/cycle %d/%d, scheduled as %d/%d",
-					i, op.ID, op.Op, op.Cycle, in.op, in.cycle)
-			}
-			mod.Free(op.Op, op.Cycle, op.ID)
-			delete(live, op.ID)
-			results = append(results, BatchResult{})
-		default:
-			return nil, errf(http.StatusBadRequest, "op %d: bad fn %q (want check, assign, assign_free, free, check_with_alt, first_free or first_free_alt)", i, op.Fn)
-		}
+		results = append(results, res.toBatchResult())
 	}
 	return &BatchResponse{
-		Machine:        sess.name,
+		Machine:        me.name,
 		Use:            use,
 		Representation: rep,
 		II:             req.II,
 		Results:        results,
 		Counters:       *mod.Counters(),
 	}, nil
-}
-
-// expandedFor returns the description a batch with the given use string
-// executes against (test helper for differential runs).
-func (sess *session) expandedFor(use string) *resmodel.Expanded {
-	if use == "original" {
-		return sess.expanded
-	}
-	return sess.red.Reduced
 }

@@ -106,3 +106,70 @@ func FuzzServeBatchDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzServeSessionStream throws arbitrary NDJSON bodies at a fresh
+// scheduling session's /stream endpoint and pins the streaming
+// contract: the handler never panics, the response status is 200 (the
+// NDJSON phase) or a 4xx, and every response line is one valid JSON
+// value ending in either an {"error":...} line or a {"done":true}
+// trailer — a mid-stream failure must never leave a torn, unparsable
+// tail on the wire.
+func FuzzServeSessionStream(f *testing.F) {
+	s := New(Config{})
+	if _, err := s.Register("example", machines.Example(), core.Objective{Kind: core.ResUses}); err != nil {
+		f.Fatal(err)
+	}
+	h := s.Handler()
+
+	f.Add([]byte("{\"fn\":\"check\",\"op\":0,\"cycle\":0}\n"))
+	f.Add([]byte("{\"fn\":\"assign\",\"op\":0,\"cycle\":0,\"id\":1}\n{\"fn\":\"check\",\"op\":0,\"cycle\":0}\n{\"fn\":\"free\",\"op\":0,\"cycle\":0,\"id\":1}\n"))
+	f.Add([]byte("{\"fn\":\"assign_free\",\"op\":0,\"cycle\":2,\"id\":7}\n{\"fn\":\"assign_free\",\"op\":0,\"cycle\":2,\"id\":8}\n"))
+	f.Add([]byte("{\"fn\":\"first_free\",\"op\":0,\"lo\":0,\"hi\":12}\n{\"fn\":\"first_free_alt\",\"op\":0,\"lo\":3,\"hi\":9}\n"))
+	f.Add([]byte("\n\n{\"fn\":\"check\",\"op\":0,\"cycle\":1}\r\n\n"))
+	f.Add([]byte("{\"fn\":\"check\",\"op\":0,\"cycle\":2}")) // final op without trailing newline
+	f.Add([]byte("{\"fn\":\"peek\"}\n"))
+	f.Add([]byte("{\"fn\":\"check\",\"op\":9999}\n"))
+	f.Add([]byte("{\"fn\":\"check\",\"op\":0,\"cycle\":-5}\n"))
+	f.Add([]byte("{\"fn\":\"free\",\"op\":0,\"cycle\":0,\"id\":42}\n"))
+	f.Add([]byte("{\"fn\":\"check\",\"op\":0,\"cycle\":"))
+	f.Add([]byte("[]\n{}\n"))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xfe, 0x00, 0x0a})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/sessions",
+			bytes.NewReader([]byte(`{"machine":"example"}`))))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("session create: status %d: %s", rec.Code, rec.Body.Bytes())
+		}
+		var si SessionInfo
+		if err := json.Unmarshal(rec.Body.Bytes(), &si); err != nil {
+			t.Fatal(err)
+		}
+
+		rec = httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/sessions/"+si.SessionID+"/stream", bytes.NewReader(data))
+		h.ServeHTTP(rec, req) // a panic here fails the fuzz run
+		if rec.Code >= 500 {
+			t.Fatalf("5xx (%d) from stream handler on input %q: %s", rec.Code, data, rec.Body.Bytes())
+		}
+		if rec.Code != http.StatusOK {
+			return // rejected before the NDJSON phase (4xx)
+		}
+		lines := bytes.Split(bytes.TrimSpace(rec.Body.Bytes()), []byte("\n"))
+		for _, line := range lines {
+			if len(line) > 0 && !json.Valid(line) {
+				t.Fatalf("stream emitted a non-JSON line on input %q: %q", data, line)
+			}
+		}
+		var last struct {
+			Done  bool   `json:"done"`
+			Error string `json:"error"`
+		}
+		tail := lines[len(lines)-1]
+		if err := json.Unmarshal(tail, &last); err != nil || (!last.Done && last.Error == "") {
+			t.Fatalf("stream ended without error line or done trailer on input %q: %q", data, tail)
+		}
+	})
+}

@@ -1,7 +1,8 @@
 // Package serve implements the machine-description service behind
 // cmd/mdserve: a stdlib-only net/http JSON daemon that compiles, caches
-// and serves reduced machine descriptions and batched contention-query
-// sequences.
+// and serves reduced machine descriptions, batched contention-query
+// sequences, and stateful scheduling sessions that hold a long-lived
+// query module per remote scheduler.
 //
 // Endpoints:
 //
@@ -12,15 +13,35 @@
 //	POST /v1/batch     run a check/assign/assign&free/free/check-with-alt
 //	                   sequence against a registered description, on the
 //	                   discrete or bitvector representation, linear or
-//	                   modulo, original or reduced.
+//	                   modulo, original or reduced. Each batch runs on a
+//	                   fresh module.
+//	POST /v1/sessions  open a scheduling session: a long-lived query
+//	                   module (plus its partial-schedule state) that
+//	                   subsequent op requests converse with.
+//	POST /v1/sessions/{id}/ops     run a JSON op batch on the session's
+//	                               live module; state persists.
+//	POST /v1/sessions/{id}/stream  NDJSON streaming mode: one op per
+//	                               request line, one result per response
+//	                               line, flushed incrementally.
+//	GET    /v1/sessions      list open sessions.
+//	GET    /v1/sessions/{id} one session's shape, ops total and counters.
+//	DELETE /v1/sessions/{id} close a session.
 //	GET  /v1/machines  list registered descriptions.
 //	GET  /v1/metrics   internal/obs snapshot of the whole process.
-//	GET  /healthz      liveness plus cache/registry shape.
+//	GET  /healthz      liveness plus cache/registry/session shape.
 //
-// The expensive endpoints (/v1/reduce, /v1/batch) are guarded by a
-// concurrency-limiting admission gate (parallel.Gate) and a per-request
-// deadline; requests that cannot be admitted before their deadline get
-// 429. Request bodies are size-capped. Errors are JSON
+// The machine registry and the session table are sharded LRU tables
+// (see registry.go): both are capacity-bounded, so unique-name reduce
+// spam or session-open spam evicts oldest entries instead of growing
+// the process without limit. Idle sessions additionally expire after a
+// TTL.
+//
+// The expensive endpoints (/v1/reduce, /v1/batch, session create/ops)
+// are guarded by a concurrency-limiting admission gate (parallel.Gate)
+// and a per-request deadline; requests that cannot be admitted before
+// their deadline get 429. Streams are admitted through the gate's
+// reserved stream sub-quota so open conversations can never starve
+// one-shot requests. Request bodies are size-capped. Errors are JSON
 // {"error": "..."} with a 4xx status for every malformed or
 // semantically invalid request — the server never panics on client
 // input (pinned by FuzzServeBatchDecode).
@@ -35,9 +56,8 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
-	"strconv"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -67,6 +87,22 @@ type Config struct {
 	// MaxCycle caps schedule cycles on linear reserved tables (modulo
 	// tables fold and need no cap). 0 selects 1<<20.
 	MaxCycle int
+	// MaxMachines bounds the machine registry (registered descriptions,
+	// LRU-evicted beyond the cap). 0 selects 256; < 0 means unbounded.
+	MaxMachines int
+	// MaxSessions bounds the scheduling-session table (LRU-evicted
+	// beyond the cap). 0 selects 1024; < 0 means unbounded.
+	MaxSessions int
+	// SessionTTL expires sessions idle longer than this (lazily, on
+	// lookup and on session create/list sweeps). 0 selects 5m; < 0
+	// disables expiry.
+	SessionTTL time.Duration
+	// Shards is the shard count of the machine registry and session
+	// table. 0 selects 8.
+	Shards int
+	// MaxStreamOps caps the ops accepted on one /stream request.
+	// 0 selects 1<<20.
+	MaxStreamOps int
 }
 
 func (c Config) withDefaults() Config {
@@ -94,27 +130,65 @@ func (c Config) withDefaults() Config {
 	if c.MaxCycle == 0 {
 		c.MaxCycle = 1 << 20
 	}
+	if c.MaxMachines == 0 {
+		c.MaxMachines = 256
+	}
+	if c.MaxMachines < 0 {
+		c.MaxMachines = 0 // unbounded for the table itself
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 1024
+	}
+	if c.MaxSessions < 0 {
+		c.MaxSessions = 0
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 5 * time.Minute
+	}
+	if c.SessionTTL < 0 {
+		c.SessionTTL = 0 // no expiry
+	}
+	if c.Shards == 0 {
+		c.Shards = 8
+	}
+	if c.MaxStreamOps == 0 {
+		c.MaxStreamOps = 1 << 20
+	}
 	return c
 }
 
-// session is one registered machine description: the parsed machine, its
-// expansion, and its verified reduction.
-type session struct {
+// machineEntry is one registered machine description: the parsed
+// machine, its expansion, and its verified reduction.
+type machineEntry struct {
 	name     string
-	machine  *resmodel.Machine
+	src      *resmodel.Machine
 	expanded *resmodel.Expanded
 	red      *core.Result
 }
 
-// Server holds the session registry, the reduction LRU and the admission
-// gate. Construct with New; serve with Handler.
+// Server holds the machine registry, the scheduling-session table, the
+// reduction LRU and the admission gate. Construct with New; serve with
+// Handler.
 type Server struct {
 	cfg   Config
 	cache *core.Cache
 	gate  *parallel.Gate
 
-	mu       sync.RWMutex
-	sessions map[string]*session
+	// machines is the bounded, sharded registry of registered
+	// descriptions. Evicting an entry never invalidates modules built
+	// from it — sessions and in-flight batches keep their pointers; the
+	// registry simply forgets the name (exactly the reduction cache's
+	// eviction contract).
+	machines *sharded[*machineEntry]
+	// sessions is the bounded, sharded table of open scheduling
+	// sessions, LRU-evicted beyond MaxSessions and TTL-expired when
+	// idle.
+	sessions   *sharded[*Session]
+	sessionSeq atomic.Uint64
+
+	// now is the session clock, swappable by tests so TTL expiry is
+	// testable without wall-clock sleeps.
+	now func() time.Time
 }
 
 // New returns a Server with the given configuration (zero values select
@@ -125,17 +199,29 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		cache:    core.NewCacheLRU(cfg.CacheCapacity),
 		gate:     parallel.NewGate(cfg.MaxInFlight),
-		sessions: map[string]*session{},
+		machines: newSharded[*machineEntry](cfg.MaxMachines, cfg.Shards),
+		sessions: newSharded[*Session](cfg.MaxSessions, cfg.Shards),
+		now:      time.Now,
 	}
 }
 
 // Cache exposes the server's reduction LRU (for stats and tests).
 func (s *Server) Cache() *core.Cache { return s.cache }
 
+// putMachine is the single insert path into the machine registry, used
+// by both Register and handleReduce so the registry semantics — LRU
+// position, capacity eviction, the serve.registry.evictions counter —
+// cannot diverge between the two entry points.
+func (s *Server) putMachine(me *machineEntry) {
+	for range s.machines.put(me.name, me) {
+		obs.Inc("serve.registry.evictions")
+	}
+}
+
 // Register compiles and registers a machine under name (the machine's
 // own name if empty), reducing it through the server's cache. Used by
 // cmd/mdserve -preload and by tests; HTTP clients register via
-// /v1/reduce. Re-registering a name replaces the previous session.
+// /v1/reduce. Re-registering a name replaces the previous entry.
 func (s *Server) Register(name string, m *resmodel.Machine, obj core.Objective) (*core.Result, error) {
 	if err := obj.Validate(); err != nil {
 		return nil, err
@@ -151,17 +237,18 @@ func (s *Server) Register(name string, m *resmodel.Machine, obj core.Objective) 
 	if err := red.Verify(); err != nil {
 		return nil, fmt.Errorf("serve: reduction failed verification: %w", err)
 	}
-	s.mu.Lock()
-	s.sessions[name] = &session{name: name, machine: m, expanded: e, red: red}
-	s.mu.Unlock()
+	s.putMachine(&machineEntry{name: name, src: m, expanded: e, red: red})
 	return red, nil
 }
 
-// lookup returns the named session, or nil.
-func (s *Server) lookup(name string) *session {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.sessions[name]
+// lookup returns the named machine entry (marking it most recently
+// used), or nil.
+func (s *Server) lookup(name string) *machineEntry {
+	me, ok := s.machines.get(name)
+	if !ok {
+		return nil
+	}
+	return me
 }
 
 // Handler returns the server's HTTP routes.
@@ -169,6 +256,12 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/reduce", s.admit(s.handleReduce))
 	mux.HandleFunc("POST /v1/batch", s.admit(s.handleBatch))
+	mux.HandleFunc("POST /v1/sessions", s.admit(s.handleSessionCreate))
+	mux.HandleFunc("GET /v1/sessions", s.handleSessionList)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionInfo)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	mux.HandleFunc("POST /v1/sessions/{id}/ops", s.admit(s.handleSessionOps))
+	mux.HandleFunc("POST /v1/sessions/{id}/stream", s.handleSessionStream)
 	mux.HandleFunc("GET /v1/machines", s.handleMachines)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -264,9 +357,7 @@ func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, fmt.Sprintf("reduction failed verification: %v", err))
 		return
 	}
-	s.mu.Lock()
-	s.sessions[name] = &session{name: name, machine: m, expanded: e, red: red}
-	s.mu.Unlock()
+	s.putMachine(&machineEntry{name: name, src: m, expanded: e, red: red})
 	if hit {
 		obs.Inc("serve.reduce.cache_hits")
 	}
@@ -304,19 +395,19 @@ type MachineInfo struct {
 }
 
 func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	infos := make([]MachineInfo, 0, len(s.sessions))
-	for _, sess := range s.sessions {
+	items := s.machines.items()
+	infos := make([]MachineInfo, 0, len(items))
+	for _, it := range items {
+		me := it.val
 		infos = append(infos, MachineInfo{
-			Name:             sess.name,
-			Resources:        len(sess.machine.Resources),
-			ReducedResources: sess.red.NumResources(),
-			Ops:              len(sess.machine.Ops),
-			ExpandedOps:      len(sess.expanded.Ops),
-			Classes:          sess.red.Classes.NumClasses(),
+			Name:             me.name,
+			Resources:        len(me.src.Resources),
+			ReducedResources: me.red.NumResources(),
+			Ops:              len(me.src.Ops),
+			ExpandedOps:      len(me.expanded.Ops),
+			Classes:          me.red.Classes.NumClasses(),
 		})
 	}
-	s.mu.RUnlock()
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
 	writeJSON(w, http.StatusOK, map[string]any{"machines": infos})
 }
@@ -331,12 +422,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.cache.Stats()
-	s.mu.RLock()
-	n := len(s.sessions)
-	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":       true,
-		"machines": n,
+		"machines": s.machines.len(),
+		"registry": map[string]any{
+			"resident": s.machines.len(),
+			"capacity": s.cfg.MaxMachines,
+			"shards":   len(s.machines.shards),
+		},
+		"sessions": map[string]any{
+			"resident": s.sessions.len(),
+			"capacity": s.cfg.MaxSessions,
+			"shards":   len(s.sessions.shards),
+			"ttl_ms":   s.cfg.SessionTTL.Milliseconds(),
+		},
 		"cache": map[string]any{
 			"resident":  s.cache.Len(),
 			"capacity":  s.cache.Capacity(),
@@ -345,23 +444,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"evictions": s.cache.Evictions(),
 		},
 		"in_flight": s.gate.InFlight(),
+		"streams":   s.gate.Streams(),
 	})
 }
 
 // ParseObjective parses a reduction-objective string: "" or "res-uses"
-// for the discrete objective, "<k>-cycle-word" for the bitvector one.
+// for the discrete objective, "<k>-cycle-word" for the bitvector one
+// (k bounded by core.MaxObjectiveK so a wire request cannot demand an
+// absurd word geometry). It delegates to core.ParseObjective, the single
+// parser shared with the mdreduce and pipesched command lines.
 func ParseObjective(s string) (core.Objective, error) {
-	if s == "" || s == "res-uses" {
-		return core.Objective{Kind: core.ResUses}, nil
-	}
-	if k, ok := strings.CutSuffix(s, "-cycle-word"); ok {
-		n, err := strconv.Atoi(k)
-		if err != nil || n < 1 {
-			return core.Objective{}, fmt.Errorf("bad objective %q", s)
-		}
-		return core.Objective{Kind: core.KCycleWord, K: n}, nil
-	}
-	return core.Objective{}, fmt.Errorf("unknown objective %q (want res-uses or <k>-cycle-word)", s)
+	return core.ParseObjective(s)
 }
 
 // decodeJSON decodes the request body into v, writing a 4xx error and

@@ -18,9 +18,10 @@ import (
 
 // TestServeSmoke is the end-to-end smoke run behind `make serve-smoke`:
 // build the real mdserve binary, start it on an ephemeral port, drive
-// one reduce, one batch and one metrics scrape over real TCP, then
-// SIGTERM it and require a clean drain (exit code 0). Build-tagged so
-// `go test ./...` stays fast.
+// one reduce, one batch, a full scheduling-session conversation
+// (create, 100 streamed NDJSON ops, idle expiry) and one metrics
+// scrape over real TCP, then SIGTERM it and require a clean drain
+// (exit code 0). Build-tagged so `go test ./...` stays fast.
 func TestServeSmoke(t *testing.T) {
 	bin := filepath.Join(t.TempDir(), "mdserve")
 	build := exec.Command("go", "build", "-o", bin, "repro/cmd/mdserve")
@@ -28,7 +29,7 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("go build cmd/mdserve: %v\n%s", err, out)
 	}
 
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-preload", "example,cydra5-subset", "-cache", "8")
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-preload", "example,cydra5-subset", "-cache", "8", "-session-ttl", "1s")
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -114,6 +115,60 @@ op store latency 1 {
 	}
 	if len(batch.Results) != 4 || batch.Results[0].OK == nil || !*batch.Results[0].OK {
 		t.Fatalf("implausible batch response: %+v", batch)
+	}
+
+	// A stateful scheduling session: create it, stream 100 ops through
+	// the NDJSON conversation mode, and check every line came back plus
+	// the done trailer with the right op count.
+	var si SessionInfo
+	if err := json.Unmarshal(post("/v1/sessions", SessionRequest{Machine: "smoke"}), &si); err != nil {
+		t.Fatalf("session create response: %v", err)
+	}
+	var ndjson bytes.Buffer
+	const streamOps = 100
+	for i := 0; i < streamOps; i++ {
+		op, err := json.Marshal(BatchOp{Fn: "check", Op: 0, Cycle: i % 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ndjson.Write(op)
+		ndjson.WriteByte('\n')
+	}
+	sresp, err := client.Post(base+"/v1/sessions/"+si.SessionID+"/stream", "application/x-ndjson", &ndjson)
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	var streamLines [][]byte
+	sc := bufio.NewScanner(sresp.Body)
+	for sc.Scan() {
+		streamLines = append(streamLines, append([]byte(nil), sc.Bytes()...))
+	}
+	sresp.Body.Close()
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if sresp.StatusCode != http.StatusOK || len(streamLines) != streamOps+1 {
+		t.Fatalf("stream: status %d, %d lines (want %d results + trailer)", sresp.StatusCode, len(streamLines), streamOps)
+	}
+	var trailer struct {
+		Done bool `json:"done"`
+		Ops  int  `json:"ops"`
+	}
+	if err := json.Unmarshal(streamLines[streamOps], &trailer); err != nil || !trailer.Done || trailer.Ops != streamOps {
+		t.Fatalf("stream trailer: %s (err %v)", streamLines[streamOps], err)
+	}
+
+	// Idle past the 1s TTL the session expires: first probe sees
+	// 410 Gone (lazy expiry), after which the id is unknown.
+	time.Sleep(1200 * time.Millisecond)
+	gresp, err := client.Get(base + "/v1/sessions/" + si.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, gresp.Body)
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusGone {
+		t.Fatalf("expired session probe: status %d, want 410", gresp.StatusCode)
 	}
 
 	// Metrics scrape: -preload and the requests above must have left
