@@ -6,33 +6,38 @@
 #   make verify      alias for check
 #   make fuzz-smoke  run each native fuzz target briefly (10s apiece)
 #   make serve-smoke build mdserve and drive it end to end over TCP
-#   make metrics     regenerate metrics.json and sanity-check its scopes
+#   make metrics     regenerate metrics.json + OPTGAP.md and sanity-check them
 #   make bench-json  regenerate BENCH_parallel.json on this host
 #   make bench-reduction  regenerate BENCH_reduction.json on this host
 #   make bench-sched      regenerate BENCH_sched.json on this host
 #   make bench-throughput regenerate BENCH_throughput.json on this host
 #   make bench-serve      regenerate BENCH_serve.json on this host
+#   make bench-opt        regenerate BENCH_opt.json on this host
+#   make opt-gap          regenerate the OPTGAP.md optimality-gap report
 #   make bench-compare    re-measure and gate against BENCH_reduction.json,
-#                         BENCH_sched.json, BENCH_throughput.json and
-#                         BENCH_serve.json
+#                         BENCH_sched.json, BENCH_throughput.json,
+#                         BENCH_serve.json and BENCH_opt.json
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet bench bench-json bench-reduction bench-sched bench-throughput bench-serve bench-compare bench-alloc metrics fuzz-smoke serve-smoke check verify clean
+.PHONY: all build test race vet bench bench-json bench-reduction bench-sched bench-throughput bench-serve bench-opt bench-compare bench-alloc metrics opt-gap fuzz-smoke serve-smoke check verify clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test execution order within each package, so
+# accidental order dependencies between tests fail in CI instead of
+# lurking.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # The worker pools in internal/parallel, internal/forbidden, internal/core
 # and internal/tables are only meaningfully exercised under -race.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
@@ -58,6 +63,9 @@ metrics:
 		grep -q "\"$$s\." metrics.json || { echo "metrics.json: missing scope $$s" >&2; exit 1; }; \
 	done
 	@echo "metrics.json OK"
+	$(GO) run ./cmd/paper -opt-gap OPTGAP.md > /dev/null
+	@git diff --quiet -- OPTGAP.md || { echo "OPTGAP.md: regeneration changed the committed report" >&2; exit 1; }
+	@echo "OPTGAP.md OK"
 
 # Serial-vs-parallel wall time for the Table 5/6 harnesses, the reduction
 # pipeline, and the reduction cache. Speedups are host-dependent; the
@@ -96,6 +104,21 @@ bench-throughput:
 bench-serve:
 	$(GO) run ./cmd/paper -bench-serve BENCH_serve.json -bench-workers 1,8
 
+# Exact-scheduler wall time: the stratified opt-gap corpus through
+# sched.Optimal at the default budget (serial_ns, the gated column) vs
+# the plain IMS pass (parallel_ns), at workers 1 and 8. Commits the
+# baseline bench-compare gates against; entries record the host shape,
+# and benchgate skips (not fails) entries measured under a different one.
+bench-opt:
+	$(GO) run ./cmd/paper -bench-opt BENCH_opt.json -bench-workers 1,8
+
+# The committed optimality-gap report: the stratified corpus scheduled by
+# the exact searcher vs the IMS heuristic, per stratum. Fully
+# deterministic (fixed corpus seed, deterministic schedulers), so
+# regeneration on any host must reproduce the committed bytes.
+opt-gap:
+	$(GO) run ./cmd/paper -opt-gap OPTGAP.md
+
 # Non-tier-1 perf smoke: re-measure the per-stage, scheduler and
 # throughput reports and fail if anything regressed more than 20%
 # against the committed baselines. Wall-time gating is inherently
@@ -111,6 +134,8 @@ bench-compare:
 	$(GO) run ./cmd/benchgate -baseline BENCH_throughput.json -current /tmp/BENCH_throughput.current.json -entries '-w[18]$$'
 	$(GO) run ./cmd/paper -bench-serve /tmp/BENCH_serve.current.json -bench-workers 1,8
 	$(GO) run ./cmd/benchgate -baseline BENCH_serve.json -current /tmp/BENCH_serve.current.json
+	$(GO) run ./cmd/paper -bench-opt /tmp/BENCH_opt.current.json -bench-workers 1,8
+	$(GO) run ./cmd/benchgate -baseline BENCH_opt.json -current /tmp/BENCH_opt.current.json
 
 # Brief runs of the native fuzz targets. FuzzReducePreservesF fuzzes the
 # paper's theorem (reduction preserves the forbidden-latency matrix);
@@ -122,6 +147,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseObjective$$' -fuzztime $(FUZZTIME) ./internal/core/
 	$(GO) test -run '^$$' -fuzz '^FuzzServeBatchDecode$$' -fuzztime $(FUZZTIME) ./internal/serve/
 	$(GO) test -run '^$$' -fuzz '^FuzzServeSessionStream$$' -fuzztime $(FUZZTIME) ./internal/serve/
+	$(GO) test -run '^$$' -fuzz '^FuzzOptimalNeverInvalid$$' -fuzztime $(FUZZTIME) ./internal/sched/
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/mdl/
 
 # End-to-end daemon smoke: build cmd/mdserve, boot it on an ephemeral

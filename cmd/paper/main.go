@@ -16,6 +16,8 @@
 //	paper -bench-throughput BENCH_throughput.json  # streamed-corpus scheduler throughput
 //	paper -bench-throughput BENCH_throughput.json -corpus 100000 -bench-workers 1,2,4,8
 //	paper -bench-serve BENCH_serve.json -bench-workers 1,8  # mdserve load test (req/s, p50/p99)
+//	paper -opt-gap OPTGAP.md  # exact-vs-IMS optimality-gap corpus report
+//	paper -bench-opt BENCH_opt.json -bench-workers 1,8  # exact-scheduler wall time
 //	paper -table 6 -metrics metrics.json   # emit a machine-readable profile
 //
 // -parallel fans the per-loop scheduling of Tables 5/6 and the kernel
@@ -61,6 +63,8 @@ func main() {
 		benchSch  = flag.String("bench-sched", "", "time the IMS corpus per representation, range scan vs naive scan, and write the report to this file (e.g. BENCH_sched.json)")
 		benchThru = flag.String("bench-throughput", "", "stream a stratified corpus through per-worker scheduler arenas and write the throughput report to this file (e.g. BENCH_throughput.json)")
 		benchSrv  = flag.String("bench-serve", "", "load-test the mdserve handler stack (batch + session streams) and write the report to this file (e.g. BENCH_serve.json)")
+		optGap    = flag.String("opt-gap", "", "schedule the stratified corpus with the exact searcher vs IMS and write the optimality-gap report to this file (e.g. OPTGAP.md)")
+		benchOpt  = flag.String("bench-opt", "", "time the exact scheduler against IMS on the stratified corpus and write the report to this file (e.g. BENCH_opt.json)")
 		corpus    = flag.Int("corpus", 100000, "streamed-corpus size for -bench-throughput")
 		benchWkrs = flag.String("bench-workers", "1,2,4,8", "comma-separated worker counts for -bench-throughput")
 		metrics   = flag.String("metrics", "", "enable the observability layer and write a JSON metrics snapshot to this file (\"-\" = stdout)")
@@ -116,6 +120,25 @@ func main() {
 			os.Exit(2)
 		}
 		if err := runBenchServe(*benchSrv, wl); err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *optGap != "" {
+		if err := runOptGap(*optGap, workers, *loops); err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchOpt != "" {
+		wl, err := parseWorkersList(*benchWkrs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+			os.Exit(2)
+		}
+		if err := runBenchOpt(*benchOpt, wl, *loops); err != nil {
 			fmt.Fprintln(os.Stderr, "paper:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// BoundedMin is the shared state of a minimizing branch-and-bound search
+// fanned across a worker pool: a lock-free bound that every search node
+// reads to prune, and a mutex that serializes witness installation so
+// only strict improvements publish. Two searches share this machinery:
+// the exact-cover search (bound = usage count of the best cover found)
+// and the optimal modulo scheduler's frontier (bound = lowest frontier
+// task index that reached a schedule). The bound only tightens, so the
+// final bound value is identical at every worker count; whether the
+// *witness* is worker-count-invariant depends on the caller's install
+// discipline (exact-cover accepts any optimal witness, the scheduler
+// keys installs by task index to make the witness canonical).
+type BoundedMin struct {
+	bound        atomic.Int64
+	improvements atomic.Int64
+	mu           sync.Mutex
+}
+
+// Reset installs the initial bound (a greedy seed, or a past-the-end
+// sentinel when no solution is known yet) and clears the improvement
+// count.
+func (b *BoundedMin) Reset(v int64) {
+	b.bound.Store(v)
+	b.improvements.Store(0)
+}
+
+// Bound returns the current bound.
+func (b *BoundedMin) Bound() int64 { return b.bound.Load() }
+
+// Prunes reports whether a node with admissible lower bound v cannot
+// improve on the best solution found so far.
+func (b *BoundedMin) Prunes(v int64) bool { return v >= b.bound.Load() }
+
+// Improvements returns how many times the bound was lowered.
+func (b *BoundedMin) Improvements() int64 { return b.improvements.Load() }
+
+// TryImprove lowers the bound to v and runs install under the lock; it
+// reports false (and does not run install) when another worker already
+// reached v or better. install runs while the lock is held, so it must
+// only record the witness.
+func (b *BoundedMin) TryImprove(v int64, install func()) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if v >= b.bound.Load() {
+		return false
+	}
+	b.bound.Store(v)
+	b.improvements.Add(1)
+	install()
+	return true
+}

@@ -203,6 +203,18 @@ func checkWithAlt(m Module, e *resmodel.Expanded, origOp, cycle int) (int, bool)
 	return -1, false
 }
 
+// AltGrouper is the optional module extension that exposes the
+// alternative group of an original (unexpanded) operation: the
+// expanded-op indices a scheduler may branch over when placing that
+// operation, in the canonical group order CheckWithAlt probes them.
+// Every module in this package and automaton.PairModule implement it;
+// schedulers that branch per alternative (IMS re-checking a group,
+// sched.Optimal enumerating candidates) assert for it instead of
+// re-deriving the group from the expanded machine.
+type AltGrouper interface {
+	AltGroupOf(origOp int) []int
+}
+
 // MemoryFootprint reports the bytes a module devotes to reserved-table
 // state (flags, owner fields, packed words, stored automaton states) —
 // the storage the paper's Section 6 memory comparison is about. It is

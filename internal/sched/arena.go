@@ -26,6 +26,7 @@ type Arena struct {
 	modules  map[int]query.Module
 	total    query.Counters
 	sc       schedScratch
+	osc      optScratch
 	lsc      listScratch
 	mi       ModuleIssuer
 	met      *arenaObs
@@ -82,6 +83,24 @@ func (a *Arena) ScheduleInto(res *Result, g *ddg.Graph, m *resmodel.Machine, cfg
 func (a *Arena) Schedule(g *ddg.Graph, m *resmodel.Machine, cfg Config) Result {
 	var res Result
 	a.ScheduleInto(&res, g, m, cfg)
+	return res
+}
+
+// OptimalInto is Optimal writing into a caller-owned OptimalResult,
+// searching on the arena's cached modules and scratch. Parallel
+// frontier workers (cfg.Workers > 1) search on fresh factory modules —
+// never the cached ones — so the arena's query counters stay
+// deterministic; outcomes are byte-identical either way.
+func (a *Arena) OptimalInto(res *OptimalResult, g *ddg.Graph, m *resmodel.Machine, cfg OptimalConfig) {
+	optimalInto(res, g, m, a.moduleOf, a.factory, cfg, &a.osc)
+	observeOptimal(res)
+}
+
+// Optimal is the package-level Optimal through this arena's reused
+// modules and scratch.
+func (a *Arena) Optimal(g *ddg.Graph, m *resmodel.Machine, cfg OptimalConfig) OptimalResult {
+	var res OptimalResult
+	a.OptimalInto(&res, g, m, cfg)
 	return res
 }
 

@@ -363,8 +363,7 @@ func schedulableAlt(mod query.Module, origOp int) (int, bool) {
 	// The module's CheckWithAlt iterates the alt group, but for forced
 	// placement we need an alternative regardless of current contention;
 	// probe via Schedulable on the group.
-	type altGrouper interface{ AltGroupOf(origOp int) []int }
-	if ag, ok := mod.(altGrouper); ok {
+	if ag, ok := mod.(query.AltGrouper); ok {
 		for _, op := range ag.AltGroupOf(origOp) {
 			if mod.Schedulable(op) {
 				return op, true

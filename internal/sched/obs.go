@@ -41,3 +41,33 @@ func observeSchedule(r *Result) {
 		widths.Observe(int64(w))
 	}
 }
+
+// observeOptimal publishes one Optimal call's search statistics to the
+// "sched.opt" scope: outcomes (proven / fallback / failed), search
+// nodes, frontier tasks and IIs proven infeasible, plus per-loop
+// distributions of the node spend and the proven II-over-MII gap. Every
+// quantity is deterministic at any worker count, so differential tests
+// can pin snapshot equality across batch worker counts.
+func observeOptimal(r *OptimalResult) {
+	if !obs.Enabled() {
+		return
+	}
+	s := obs.Default().Scope("sched").Scope("opt")
+	s.Counter("loops").Inc()
+	if r.Proven {
+		s.Counter("proven").Inc()
+	}
+	if r.Fallback {
+		s.Counter("fallbacks").Inc()
+	}
+	if !r.OK {
+		s.Counter("failed").Inc()
+	}
+	s.Counter("nodes").Add(r.Nodes)
+	s.Counter("tasks").Add(int64(r.Tasks))
+	s.Counter("infeasible_iis").Add(int64(r.InfeasibleIIs))
+	s.Histogram("nodes_per_loop").Observe(r.Nodes)
+	if r.Proven {
+		s.Histogram("gap").Observe(int64(r.II - r.MII))
+	}
+}

@@ -6,9 +6,11 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/ddg"
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/resmodel"
+	"repro/internal/sched"
 )
 
 // BatchRequest is the body of POST /v1/batch: a contention-query
@@ -37,7 +39,7 @@ type BatchRequest struct {
 // BatchOp is one query of a batch or session request.
 type BatchOp struct {
 	// Fn is "check", "assign", "assign_free", "free", "check_with_alt",
-	// "first_free" or "first_free_alt".
+	// "first_free", "first_free_alt" or "schedule".
 	Fn string `json:"fn"`
 	// Op is the expanded-op index ("check_with_alt", "first_free_alt":
 	// the original-op index).
@@ -50,17 +52,52 @@ type BatchOp struct {
 	Hi int `json:"hi,omitempty"`
 	// ID is the instance id ("assign", "assign_free", "free").
 	ID int `json:"id,omitempty"`
+	// Scheduler selects the "schedule" op's engine: "optimal" (default)
+	// or "ims".
+	Scheduler string `json:"scheduler,omitempty"`
+	// Loop is the "schedule" op's dependence graph.
+	Loop *LoopSpec `json:"loop,omitempty"`
+	// MaxNodes caps the exact search's node budget for one "schedule"
+	// op; 0 selects scheduleDefaultNodes, values above scheduleMaxNodes
+	// are rejected.
+	MaxNodes int64 `json:"max_nodes,omitempty"`
+}
+
+// LoopSpec is the dependence graph of a "schedule" op: one entry of Ops
+// per loop operation (original-op indices into the selected
+// description) plus the dependence edges between them.
+type LoopSpec struct {
+	Ops   []int      `json:"ops"`
+	Edges []LoopEdge `json:"edges,omitempty"`
+}
+
+// LoopEdge is one dependence: To issues at least Delay cycles after
+// From, Dist iterations earlier.
+type LoopEdge struct {
+	From  int `json:"from"`
+	To    int `json:"to"`
+	Delay int `json:"delay"`
+	Dist  int `json:"dist,omitempty"`
 }
 
 // BatchResult is the answer to one BatchOp. Check-like ops set OK;
 // check_with_alt and first_free_alt additionally set AltOp on success;
 // the range queries set Cycle to the first contention-free cycle found;
 // assign_free lists the evicted instance ids (omitted when none).
+// A schedule op sets OK and MII, on success II plus the per-loop-op
+// Times and Alts (expanded-op indices), and under the optimal engine
+// Proven/Fallback (exactly one true — see sched.OptimalResult).
 type BatchResult struct {
-	OK      *bool `json:"ok,omitempty"`
-	AltOp   *int  `json:"alt_op,omitempty"`
-	Cycle   *int  `json:"cycle,omitempty"`
-	Evicted []int `json:"evicted,omitempty"`
+	OK       *bool `json:"ok,omitempty"`
+	AltOp    *int  `json:"alt_op,omitempty"`
+	Cycle    *int  `json:"cycle,omitempty"`
+	Evicted  []int `json:"evicted,omitempty"`
+	II       *int  `json:"ii,omitempty"`
+	MII      *int  `json:"mii,omitempty"`
+	Proven   *bool `json:"proven,omitempty"`
+	Fallback *bool `json:"fallback,omitempty"`
+	Times    []int `json:"times,omitempty"`
+	Alts     []int `json:"alts,omitempty"`
 }
 
 // BatchResponse is the body of a successful POST /v1/batch.
@@ -95,6 +132,15 @@ func (me *machineEntry) expandedFor(use string) *resmodel.Expanded {
 		return me.expanded
 	}
 	return me.red.Reduced
+}
+
+// machineFor returns the machine matching expandedFor's variant, the
+// basis of the schedule op's resource-MII bound.
+func (me *machineEntry) machineFor(use string) *resmodel.Machine {
+	if use == "original" {
+		return me.src
+	}
+	return me.red.Reduced.Machine()
 }
 
 // buildModule validates the module configuration of a batch or session
@@ -157,12 +203,20 @@ type opResult struct {
 	hasCycle  bool
 	cycle     int
 	evicted   []int // module-owned scratch; copy to retain past the next op
+	// Schedule-op outputs: hasSched gates ii/mii (ii and the schedule
+	// slices only on ok), hasProven gates proven/fallback (the optimal
+	// engine only).
+	hasSched         bool
+	ii, mii          int
+	hasProven        bool
+	proven, fallback bool
+	times, alts      []int
 }
 
 func (r *opResult) reset() { *r = opResult{} }
 
 // toBatchResult detaches the result into the wire struct, allocating
-// fresh pointer cells and copying the evicted list.
+// fresh pointer cells and copying the slices.
 func (r *opResult) toBatchResult() BatchResult {
 	var out BatchResult
 	if r.hasOK {
@@ -179,6 +233,23 @@ func (r *opResult) toBatchResult() BatchResult {
 	}
 	if len(r.evicted) > 0 {
 		out.Evicted = append([]int(nil), r.evicted...)
+	}
+	if r.hasSched {
+		if r.ok {
+			v := r.ii
+			out.II = &v
+		}
+		v := r.mii
+		out.MII = &v
+	}
+	if r.hasProven {
+		p, fb := r.proven, r.fallback
+		out.Proven = &p
+		out.Fallback = &fb
+	}
+	if r.hasSched && r.ok {
+		out.Times = append([]int(nil), r.times...)
+		out.Alts = append([]int(nil), r.alts...)
 	}
 	return out
 }
@@ -222,7 +293,51 @@ func (r *opResult) appendJSON(b []byte) []byte {
 		}
 		b = append(b, ']')
 	}
+	if r.hasSched {
+		if r.ok {
+			comma()
+			b = append(b, `"ii":`...)
+			b = strconv.AppendInt(b, int64(r.ii), 10)
+		}
+		comma()
+		b = append(b, `"mii":`...)
+		b = strconv.AppendInt(b, int64(r.mii), 10)
+	}
+	if r.hasProven {
+		comma()
+		b = append(b, `"proven":`...)
+		b = strconv.AppendBool(b, r.proven)
+		comma()
+		b = append(b, `"fallback":`...)
+		b = strconv.AppendBool(b, r.fallback)
+	}
+	if r.hasSched && r.ok {
+		b = appendIntList(b, &first, "times", r.times)
+		b = appendIntList(b, &first, "alts", r.alts)
+	}
 	return append(b, '}')
+}
+
+// appendIntList appends `"key":[v,...]` (preceded by a comma when
+// needed) unless vs is empty, mirroring encoding/json's omitempty.
+func appendIntList(b []byte, first *bool, key string, vs []int) []byte {
+	if len(vs) == 0 {
+		return b
+	}
+	if !*first {
+		b = append(b, ',')
+	}
+	*first = false
+	b = append(b, '"')
+	b = append(b, key...)
+	b = append(b, `":[`...)
+	for i, v := range vs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(v), 10)
+	}
+	return append(b, ']')
 }
 
 // opExec executes validated ops against one query module, tracking the
@@ -235,18 +350,25 @@ func (r *opResult) appendJSON(b []byte) []byte {
 // fuzz harness pins this.
 type opExec struct {
 	e        *resmodel.Expanded
+	m        *resmodel.Machine // e's machine, for the schedule op's MII bounds
 	mod      query.Module
 	rq       query.RangeQuerier // nil when the representation has none
 	rep      string
 	ii       int
 	maxCycle int
 	live     map[int]placed
+	// sa is the schedule op's arena (lazily built): per-II discrete
+	// modules over e, reused across the executor's schedule ops. It is
+	// independent of mod — a schedule op never touches the session's
+	// partial MRT.
+	sa *sched.Arena
 }
 
-func newOpExec(e *resmodel.Expanded, mod query.Module, rep string, ii, maxCycle int) *opExec {
+func newOpExec(e *resmodel.Expanded, m *resmodel.Machine, mod query.Module, rep string, ii, maxCycle int) *opExec {
 	rq, _ := mod.(query.RangeQuerier)
 	return &opExec{
 		e:        e,
+		m:        m,
 		mod:      mod,
 		rq:       rq,
 		rep:      rep,
@@ -254,6 +376,89 @@ func newOpExec(e *resmodel.Expanded, mod query.Module, rep string, ii, maxCycle 
 		maxCycle: maxCycle,
 		live:     map[int]placed{},
 	}
+}
+
+// Schedule-op caps: small enough that the worst-case request (dense
+// graph at the node cap, every II attempt rebuilding an O(n^3) closure)
+// stays well under the request deadline, large enough for real inner
+// loops.
+const (
+	scheduleMaxLoopOps  = 64
+	scheduleMaxEdges    = 256
+	scheduleMaxDelay    = 255
+	scheduleMaxDist     = 8
+	scheduleDefaultNodes = 1 << 14
+	scheduleMaxNodes    = 1 << 18
+	scheduleMaxII       = 512
+)
+
+// execSchedule validates and runs one "schedule" op: modulo-schedule
+// the loop over this executor's description with the exact searcher
+// (scheduler "optimal", the default) or the IMS heuristic ("ims").
+func (x *opExec) execSchedule(i int, op *BatchOp, res *opResult) *httpError {
+	spec := op.Loop
+	if spec == nil {
+		return errf(http.StatusBadRequest, "op %d: schedule needs a loop", i)
+	}
+	if n := len(spec.Ops); n == 0 || n > scheduleMaxLoopOps {
+		return errf(http.StatusBadRequest, "op %d: loop has %d ops, want [1, %d]", i, len(spec.Ops), scheduleMaxLoopOps)
+	}
+	if len(spec.Edges) > scheduleMaxEdges {
+		return errf(http.StatusBadRequest, "op %d: loop has %d edges, limit %d", i, len(spec.Edges), scheduleMaxEdges)
+	}
+	if op.MaxNodes < 0 || op.MaxNodes > scheduleMaxNodes {
+		return errf(http.StatusBadRequest, "op %d: max_nodes %d out of range [0, %d]", i, op.MaxNodes, scheduleMaxNodes)
+	}
+	g := &ddg.Graph{Name: "serve", Nodes: make([]ddg.Node, len(spec.Ops))}
+	for v, opIdx := range spec.Ops {
+		if opIdx < 0 || opIdx >= len(x.e.AltGroup) {
+			return errf(http.StatusBadRequest, "op %d: loop op %d: original-op index %d out of range [0, %d)", i, v, opIdx, len(x.e.AltGroup))
+		}
+		g.Nodes[v].Op = opIdx
+	}
+	for k, ed := range spec.Edges {
+		if ed.From < 0 || ed.From >= len(g.Nodes) || ed.To < 0 || ed.To >= len(g.Nodes) {
+			return errf(http.StatusBadRequest, "op %d: loop edge %d: endpoint out of range [0, %d)", i, k, len(g.Nodes))
+		}
+		if ed.Delay < 0 || ed.Delay > scheduleMaxDelay {
+			return errf(http.StatusBadRequest, "op %d: loop edge %d: delay %d out of range [0, %d]", i, k, ed.Delay, scheduleMaxDelay)
+		}
+		if ed.Dist < 0 || ed.Dist > scheduleMaxDist {
+			return errf(http.StatusBadRequest, "op %d: loop edge %d: distance %d out of range [0, %d]", i, k, ed.Dist, scheduleMaxDist)
+		}
+		g.Edges = append(g.Edges, ddg.Edge{From: ed.From, To: ed.To, Delay: ed.Delay, Dist: ed.Dist})
+	}
+	if err := g.Validate(); err != nil {
+		return errf(http.StatusBadRequest, "op %d: invalid loop: %v", i, err)
+	}
+	if x.sa == nil {
+		e := x.e
+		x.sa = sched.NewArena(func(ii int) query.Module { return query.NewDiscrete(e, ii) })
+	}
+	switch op.Scheduler {
+	case "", "optimal":
+		cfg := sched.DefaultOptimalConfig()
+		cfg.MaxNodes = op.MaxNodes
+		if cfg.MaxNodes == 0 {
+			cfg.MaxNodes = scheduleDefaultNodes
+		}
+		cfg.MaxII = scheduleMaxII
+		r := x.sa.Optimal(g, x.m, cfg)
+		res.hasOK, res.ok = true, r.OK
+		res.hasSched, res.ii, res.mii = true, r.II, r.MII
+		res.hasProven, res.proven, res.fallback = true, r.Proven, r.Fallback
+		res.times, res.alts = r.Time, r.Alt
+	case "ims":
+		cfg := sched.DefaultConfig()
+		cfg.MaxII = scheduleMaxII
+		r := x.sa.Schedule(g, x.m, cfg)
+		res.hasOK, res.ok = true, r.OK
+		res.hasSched, res.ii, res.mii = true, r.II, r.MII
+		res.times, res.alts = r.Time, r.Alt
+	default:
+		return errf(http.StatusBadRequest, "op %d: bad scheduler %q (want optimal or ims)", i, op.Scheduler)
+	}
+	return nil
 }
 
 // checkCycle validates one scheduling cycle under the table's cycle cap.
@@ -389,6 +594,10 @@ func (x *opExec) exec(i int, op *BatchOp, res *opResult) *httpError {
 			delete(x.live, id)
 		}
 		x.live[op.ID] = placed{op.Op, op.Cycle}
+	case "schedule":
+		if herr := x.execSchedule(i, op, res); herr != nil {
+			return herr
+		}
 	case "free":
 		in, ok := x.live[op.ID]
 		if !ok {
@@ -401,7 +610,7 @@ func (x *opExec) exec(i int, op *BatchOp, res *opResult) *httpError {
 		x.mod.Free(op.Op, op.Cycle, op.ID)
 		delete(x.live, op.ID)
 	default:
-		return errf(http.StatusBadRequest, "op %d: bad fn %q (want check, assign, assign_free, free, check_with_alt, first_free or first_free_alt)", i, op.Fn)
+		return errf(http.StatusBadRequest, "op %d: bad fn %q (want check, assign, assign_free, free, check_with_alt, first_free, first_free_alt or schedule)", i, op.Fn)
 	}
 	return nil
 }
@@ -438,7 +647,7 @@ func (s *Server) execBatch(r *http.Request, me *machineEntry, req *BatchRequest)
 	if herr != nil {
 		return nil, herr
 	}
-	x := newOpExec(e, mod, rep, req.II, s.cfg.MaxCycle)
+	x := newOpExec(e, me.machineFor(use), mod, rep, req.II, s.cfg.MaxCycle)
 	results := make([]BatchResult, 0, len(req.Ops))
 	var res opResult
 	for i := range req.Ops {

@@ -77,6 +77,34 @@ func FuzzServeBatchDecode(f *testing.F) {
 	f.Add(mustJSON(BatchRequest{Machine: "example", Ops: []BatchOp{{Fn: "first_free", Op: 0, Lo: -1, Hi: 5}}}))
 	f.Add(mustJSON(BatchRequest{Machine: "example", II: 3, Ops: []BatchOp{{Fn: "first_free_alt", Op: 0, Lo: 0, Hi: 1 << 40}}}))
 	f.Add(mustJSON(BatchRequest{Machine: "example", Ops: []BatchOp{{Fn: "first_free_alt", Op: 9999, Lo: 0, Hi: 5}}}))
+	// Schedule-op seeds: a valid optimal run, an ims run with a budget,
+	// then one mutation per validation axis (missing loop, unknown
+	// scheduler, bad loop-op index, bad edge endpoint, zero-distance
+	// cycle, oversized budget).
+	f.Add(mustJSON(BatchRequest{Machine: "example", Ops: []BatchOp{
+		{Fn: "schedule", Loop: &LoopSpec{Ops: []int{0, 1}, Edges: []LoopEdge{
+			{From: 0, To: 1, Delay: 2}, {From: 1, To: 0, Delay: 1, Dist: 1}}}},
+	}}))
+	f.Add(mustJSON(BatchRequest{Machine: "example", Use: "original", Ops: []BatchOp{
+		{Fn: "schedule", Scheduler: "ims", MaxNodes: 4096, Loop: &LoopSpec{Ops: []int{1, 1, 0}}},
+	}}))
+	f.Add(mustJSON(BatchRequest{Machine: "example", Ops: []BatchOp{{Fn: "schedule"}}}))
+	f.Add(mustJSON(BatchRequest{Machine: "example", Ops: []BatchOp{
+		{Fn: "schedule", Scheduler: "greedy", Loop: &LoopSpec{Ops: []int{0}}},
+	}}))
+	f.Add(mustJSON(BatchRequest{Machine: "example", Ops: []BatchOp{
+		{Fn: "schedule", Loop: &LoopSpec{Ops: []int{99}}},
+	}}))
+	f.Add(mustJSON(BatchRequest{Machine: "example", Ops: []BatchOp{
+		{Fn: "schedule", Loop: &LoopSpec{Ops: []int{0}, Edges: []LoopEdge{{From: 0, To: 7, Delay: 1}}}},
+	}}))
+	f.Add(mustJSON(BatchRequest{Machine: "example", Ops: []BatchOp{
+		{Fn: "schedule", Loop: &LoopSpec{Ops: []int{0, 1}, Edges: []LoopEdge{
+			{From: 0, To: 1, Delay: 1}, {From: 1, To: 0, Delay: 1}}}},
+	}}))
+	f.Add(mustJSON(BatchRequest{Machine: "example", Ops: []BatchOp{
+		{Fn: "schedule", MaxNodes: 1 << 30, Loop: &LoopSpec{Ops: []int{0}}},
+	}}))
 	f.Add([]byte(`{"machine":"example","ops":[{"fn":"check","op":0,"cycle":`))
 	f.Add([]byte(`[]`))
 	f.Add([]byte(`{"machine":"example","ops":"notalist"}`))
@@ -127,6 +155,8 @@ func FuzzServeSessionStream(f *testing.F) {
 	f.Add([]byte("{\"fn\":\"first_free\",\"op\":0,\"lo\":0,\"hi\":12}\n{\"fn\":\"first_free_alt\",\"op\":0,\"lo\":3,\"hi\":9}\n"))
 	f.Add([]byte("\n\n{\"fn\":\"check\",\"op\":0,\"cycle\":1}\r\n\n"))
 	f.Add([]byte("{\"fn\":\"check\",\"op\":0,\"cycle\":2}")) // final op without trailing newline
+	f.Add([]byte("{\"fn\":\"schedule\",\"loop\":{\"ops\":[0,1],\"edges\":[{\"from\":0,\"to\":1,\"delay\":2}]}}\n"))
+	f.Add([]byte("{\"fn\":\"schedule\",\"scheduler\":\"ims\",\"loop\":{\"ops\":[1]}}\n{\"fn\":\"schedule\",\"loop\":{\"ops\":[9]}}\n"))
 	f.Add([]byte("{\"fn\":\"peek\"}\n"))
 	f.Add([]byte("{\"fn\":\"check\",\"op\":9999}\n"))
 	f.Add([]byte("{\"fn\":\"check\",\"op\":0,\"cycle\":-5}\n"))

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"net/http"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machines"
+)
+
+// dotLoop is a small two-op recurrence used by the schedule-op tests:
+// op 1 depends on op 0 in the same iteration, op 0 on op 1 one
+// iteration back.
+func dotLoop() *LoopSpec {
+	return &LoopSpec{
+		Ops: []int{0, 1},
+		Edges: []LoopEdge{
+			{From: 0, To: 1, Delay: 2},
+			{From: 1, To: 0, Delay: 1, Dist: 1},
+		},
+	}
+}
+
+// TestBatchScheduleOp drives fn:"schedule" end to end on /v1/batch:
+// the optimal engine returns a proven schedule whose times satisfy the
+// dependences, the ims engine returns a schedule without optimality
+// flags, and the reduced and original descriptions produce identical
+// results (the paper's preservation theorem on the wire).
+func TestBatchScheduleOp(t *testing.T) {
+	s := New(Config{})
+	if _, err := s.Register("ex", machines.Example(), core.Objective{Kind: core.ResUses}); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	run := func(use string) []BatchResult {
+		rec := post(t, h, "/v1/batch", BatchRequest{Machine: "ex", Use: use, Ops: []BatchOp{
+			{Fn: "schedule", Loop: dotLoop()},
+			{Fn: "schedule", Scheduler: "ims", Loop: dotLoop()},
+		}})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("use=%q: status %d: %s", use, rec.Code, rec.Body.String())
+		}
+		return decodeBody[BatchResponse](t, rec).Results
+	}
+
+	res := run("reduced")
+	opt, ims := res[0], res[1]
+	if opt.OK == nil || !*opt.OK || opt.II == nil || opt.MII == nil {
+		t.Fatalf("optimal schedule incomplete: %+v", opt)
+	}
+	if opt.Proven == nil || opt.Fallback == nil || *opt.Proven == *opt.Fallback {
+		t.Fatalf("want exactly one of proven/fallback: %+v", opt)
+	}
+	if *opt.II < *opt.MII {
+		t.Fatalf("ii %d below mii %d", *opt.II, *opt.MII)
+	}
+	if len(opt.Times) != 2 || len(opt.Alts) != 2 {
+		t.Fatalf("schedule shape: %+v", opt)
+	}
+	// The dependences of dotLoop at the achieved II.
+	ii := *opt.II
+	if opt.Times[1]-opt.Times[0] < 2 || opt.Times[0]-opt.Times[1] < 1-ii {
+		t.Fatalf("schedule violates dependences at ii %d: times %v", ii, opt.Times)
+	}
+	if ims.OK == nil || !*ims.OK || ims.Proven != nil || ims.Fallback != nil {
+		t.Fatalf("ims result shape: %+v", ims)
+	}
+	if *opt.Proven && *ims.II < *opt.II {
+		t.Fatalf("proven optimal ii %d worse than ims ii %d", *opt.II, *ims.II)
+	}
+
+	// The reduced description preserves scheduling constraints, so both
+	// descriptions achieve the same II (MII may differ — the reduced
+	// machine's resource bound is its own, equally valid, lower bound).
+	orig := run("original")
+	if *orig[0].II != *opt.II || !reflect.DeepEqual(orig[0].Times, opt.Times) {
+		t.Fatalf("optimal schedule differs across descriptions\nreduced:  %+v\noriginal: %+v", opt, orig[0])
+	}
+	if *orig[1].II != *ims.II {
+		t.Fatalf("ims II differs across descriptions: reduced %d, original %d", *ims.II, *orig[1].II)
+	}
+}
+
+// TestBatchScheduleValidation pins the pre-validation contract: every
+// malformed schedule op is a 4xx before it can reach the scheduler.
+func TestBatchScheduleValidation(t *testing.T) {
+	s := New(Config{})
+	if _, err := s.Register("ex", machines.Example(), core.Objective{Kind: core.ResUses}); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	cases := []struct {
+		name string
+		op   BatchOp
+	}{
+		{"missing loop", BatchOp{Fn: "schedule"}},
+		{"empty loop", BatchOp{Fn: "schedule", Loop: &LoopSpec{}}},
+		{"too many ops", BatchOp{Fn: "schedule", Loop: &LoopSpec{Ops: make([]int, scheduleMaxLoopOps+1)}}},
+		{"bad op index", BatchOp{Fn: "schedule", Loop: &LoopSpec{Ops: []int{9999}}}},
+		{"negative op index", BatchOp{Fn: "schedule", Loop: &LoopSpec{Ops: []int{-1}}}},
+		{"bad scheduler", BatchOp{Fn: "schedule", Scheduler: "greedy", Loop: &LoopSpec{Ops: []int{0}}}},
+		{"edge endpoint", BatchOp{Fn: "schedule", Loop: &LoopSpec{Ops: []int{0}, Edges: []LoopEdge{{From: 0, To: 3}}}}},
+		{"edge delay", BatchOp{Fn: "schedule", Loop: &LoopSpec{Ops: []int{0}, Edges: []LoopEdge{{From: 0, To: 0, Delay: 256, Dist: 1}}}}},
+		{"edge dist", BatchOp{Fn: "schedule", Loop: &LoopSpec{Ops: []int{0}, Edges: []LoopEdge{{From: 0, To: 0, Delay: 1, Dist: 9}}}}},
+		{"zero-dist cycle", BatchOp{Fn: "schedule", Loop: &LoopSpec{Ops: []int{0, 1}, Edges: []LoopEdge{
+			{From: 0, To: 1, Delay: 1}, {From: 1, To: 0, Delay: 1}}}}},
+		{"budget too large", BatchOp{Fn: "schedule", MaxNodes: scheduleMaxNodes + 1, Loop: &LoopSpec{Ops: []int{0}}}},
+		{"negative budget", BatchOp{Fn: "schedule", MaxNodes: -1, Loop: &LoopSpec{Ops: []int{0}}}},
+	}
+	for _, tc := range cases {
+		rec := post(t, h, "/v1/batch", BatchRequest{Machine: "ex", Ops: []BatchOp{tc.op}})
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", tc.name, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// TestSessionScheduleOp runs schedule ops through a stateful session:
+// results are identical across repeated requests (the session's
+// scheduling arena is reused, never corrupted by the session's own
+// partial MRT), and a schedule op leaves the session's module state
+// untouched.
+func TestSessionScheduleOp(t *testing.T) {
+	s := New(Config{})
+	if _, err := s.Register("ex", machines.Example(), core.Objective{Kind: core.ResUses}); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	si := createSession(t, h, SessionRequest{Machine: "ex", II: 4})
+
+	// Occupy the session's own MRT, then schedule: the schedule op must
+	// see a fresh table, not the session's assignments.
+	rec := post(t, h, "/v1/sessions/"+si.SessionID+"/ops", SessionOpsRequest{Ops: []BatchOp{
+		{Fn: "assign", Op: 0, Cycle: 0, ID: 1},
+		{Fn: "schedule", Loop: dotLoop()},
+	}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ops: status %d: %s", rec.Code, rec.Body.String())
+	}
+	first := decodeBody[SessionOpsResponse](t, rec).Results[1]
+	if first.OK == nil || !*first.OK {
+		t.Fatalf("schedule failed in session: %+v", first)
+	}
+
+	// The session's own assignment survives the schedule op.
+	rec = post(t, h, "/v1/sessions/"+si.SessionID+"/ops", SessionOpsRequest{Ops: []BatchOp{
+		{Fn: "check", Op: 0, Cycle: 0},
+		{Fn: "schedule", Loop: dotLoop()},
+	}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ops: status %d: %s", rec.Code, rec.Body.String())
+	}
+	resp := decodeBody[SessionOpsResponse](t, rec)
+	if resp.Results[0].OK == nil || *resp.Results[0].OK {
+		t.Fatalf("session MRT state lost after schedule op: %+v", resp.Results[0])
+	}
+	if !reflect.DeepEqual(resp.Results[1], first) {
+		t.Fatalf("schedule result drifted across requests\nfirst: %+v\nlater: %+v", first, resp.Results[1])
+	}
+}

@@ -189,7 +189,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		rep:     rep,
 		ii:      req.II,
 		lock:    make(chan struct{}, 1),
-		x:       newOpExec(e, mod, rep, req.II, s.cfg.MaxCycle),
+		x:       newOpExec(e, me.machineFor(use), mod, rep, req.II, s.cfg.MaxCycle),
 	}
 	sess.lastUse.Store(now.UnixNano())
 	for range s.sessions.put(sess.id, sess) {

@@ -40,6 +40,15 @@ func TestOpResultJSONMatchesMarshal(t *testing.T) {
 		{evicted: []int{4}},
 		{evicted: []int{9, 1, 30000}},
 		{hasOK: true, ok: false, hasAlt: true, alt: -1, hasCycle: true, cycle: 1 << 30, evicted: []int{0, 2}},
+		// Schedule-op shapes: proven optimal, fallback (no schedule),
+		// the ims engine (no proven/fallback), failure, and empty
+		// schedule slices (must be omitted like evicted).
+		{hasOK: true, ok: true, hasSched: true, ii: 4, mii: 3, hasProven: true, proven: true, times: []int{0, 2, 5}, alts: []int{1, 0, 2}},
+		{hasOK: true, ok: true, hasSched: true, ii: 9, mii: 7, hasProven: true, fallback: true, times: []int{0}, alts: []int{0}},
+		{hasOK: true, ok: false, hasSched: true, mii: 7, hasProven: true, fallback: true},
+		{hasOK: true, ok: true, hasSched: true, ii: 2, mii: 2, times: []int{0, 1}, alts: []int{3, 4}},
+		{hasOK: true, ok: true, hasSched: true, ii: 1, mii: 1, times: []int{}, alts: nil},
+		{hasSched: true, mii: 12},
 	}
 	for i, r := range cases {
 		got := r.appendJSON(nil)
@@ -464,7 +473,7 @@ func TestSessionSteadyStateZeroAlloc(t *testing.T) {
 		if herr != nil {
 			t.Fatalf("%s: buildModule: %s", rep, herr.msg)
 		}
-		x := newOpExec(e, mod, repOut, 0, s.cfg.MaxCycle)
+		x := newOpExec(e, me.machineFor("reduced"), mod, repOut, 0, s.cfg.MaxCycle)
 		var res opResult
 		buf := make([]byte, 0, 256)
 		run := func() {
