@@ -14,14 +14,17 @@
 #   make bench-serve      regenerate BENCH_serve.json on this host
 #   make bench-opt        regenerate BENCH_opt.json on this host
 #   make opt-gap          regenerate the OPTGAP.md optimality-gap report
+#   make bench-repr       regenerate BENCH_repr.json on this host
+#   make crossover        regenerate the CROSSOVER.md backend frontier
 #   make bench-compare    re-measure and gate against BENCH_reduction.json,
 #                         BENCH_sched.json, BENCH_throughput.json,
-#                         BENCH_serve.json and BENCH_opt.json
+#                         BENCH_serve.json, BENCH_opt.json and
+#                         BENCH_repr.json
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet bench bench-json bench-reduction bench-sched bench-throughput bench-serve bench-opt bench-compare bench-alloc metrics opt-gap fuzz-smoke serve-smoke check verify clean
+.PHONY: all build test race vet bench bench-json bench-reduction bench-sched bench-throughput bench-serve bench-opt bench-repr crossover bench-compare bench-alloc metrics opt-gap fuzz-smoke serve-smoke check verify clean
 
 all: build test
 
@@ -119,6 +122,23 @@ bench-opt:
 opt-gap:
 	$(GO) run ./cmd/paper -opt-gap OPTGAP.md
 
+# Corpus scheduling wall time per query backend (acyclic PA-RISC blocks
+# per fixed backend, Cydra 5 modulo loops per modulo-capable policy).
+# serial_ns is the gated column. Commits the baseline bench-compare
+# gates against; regenerate deliberately when the query layer
+# legitimately changes.
+bench-repr:
+	$(GO) run ./cmd/paper -bench-repr BENCH_repr.json
+
+# The committed representation-crossover frontier: query.Select's
+# deterministic calibration over real machines and seeded random strata.
+# No wall clock anywhere (counted probe work only), so regeneration on
+# any host must reproduce the committed bytes.
+crossover:
+	$(GO) run ./cmd/paper -crossover CROSSOVER.md
+	@git diff --quiet -- CROSSOVER.md || { echo "CROSSOVER.md: regeneration changed the committed report" >&2; exit 1; }
+	@echo "CROSSOVER.md OK"
+
 # Non-tier-1 perf smoke: re-measure the per-stage, scheduler and
 # throughput reports and fail if anything regressed more than 20%
 # against the committed baselines. Wall-time gating is inherently
@@ -136,6 +156,8 @@ bench-compare:
 	$(GO) run ./cmd/benchgate -baseline BENCH_serve.json -current /tmp/BENCH_serve.current.json
 	$(GO) run ./cmd/paper -bench-opt /tmp/BENCH_opt.current.json -bench-workers 1,8
 	$(GO) run ./cmd/benchgate -baseline BENCH_opt.json -current /tmp/BENCH_opt.current.json
+	$(GO) run ./cmd/paper -bench-repr /tmp/BENCH_repr.current.json
+	$(GO) run ./cmd/benchgate -baseline BENCH_repr.json -current /tmp/BENCH_repr.current.json
 
 # Brief runs of the native fuzz targets. FuzzReducePreservesF fuzzes the
 # paper's theorem (reduction preserves the forbidden-latency matrix);

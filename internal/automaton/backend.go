@@ -1,0 +1,27 @@
+package automaton
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+	"repro/internal/resmodel"
+)
+
+// The automaton package registers the FSA pair module as the "fsa"
+// query backend. Registration-by-init keeps the package dependency
+// one-way — automaton imports query, never the reverse — while letting
+// query.Select construct FSA modules by name. Any program that links
+// the scheduler (which uses this package's walkers) gets the backend
+// for free.
+func init() {
+	query.RegisterBackend("fsa", func(e *resmodel.Expanded, o query.BackendOpts) (query.Module, error) {
+		if o.II != 0 {
+			return nil, fmt.Errorf("automaton: fsa backend supports linear schedules only (ii=%d)", o.II)
+		}
+		lim := DefaultLimit()
+		if o.MaxStates != 0 {
+			lim.MaxStates = o.MaxStates
+		}
+		return NewPairModule(e, lim)
+	})
+}

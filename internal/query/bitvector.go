@@ -71,7 +71,7 @@ type Bitvector struct {
 	// calls so steady-state eviction allocates nothing.
 	evictScratch []int
 	ctr          Counters
-	met          *moduleObs // nil while metrics are disabled
+	met          *ModuleObs // nil while metrics are disabled
 }
 
 // NewBitvector creates a bitvector-representation module. k is the number
@@ -101,7 +101,7 @@ func NewBitvector(e *resmodel.Expanded, k, wordBits, ii int) (*Bitvector, error)
 		e: e, c: compileFor(e, ii), ii: ii, nRes: nRes, k: k, wordBits: wordBits,
 		cycMask: uint64(1)<<uint(nRes) - 1,
 		inst:    map[int]instance{},
-		met:     newModuleObs("bitvector"),
+		met:     NewModuleObs("bitvector"),
 	}
 	pt := b.c.packsFor(nRes, k)
 	b.packed = pt.packed
@@ -307,7 +307,7 @@ func (b *Bitvector) Check(op, cycle int) bool {
 	} else {
 		ok = b.check(op, cycle)
 	}
-	b.met.onCheck(b.ctr.CheckWork - w0)
+	b.met.OnCheck(b.ctr.CheckWork - w0)
 	return ok
 }
 
@@ -354,7 +354,7 @@ func (b *Bitvector) Assign(op, cycle, id int) {
 	if b.updateMode {
 		b.setOwners(op, cycle, int32(id))
 	}
-	b.met.onAssign(b.ctr.AssignWork - w0)
+	b.met.OnAssign(b.ctr.AssignWork - w0)
 }
 
 func (b *Bitvector) orTable(op, cycle int, work *int64) {
@@ -402,7 +402,7 @@ func (b *Bitvector) Free(op, cycle, id int) {
 	w0 := b.ctr.FreeWork
 	b.andNotTable(op, cycle, &b.ctr.FreeWork)
 	delete(b.inst, id)
-	b.met.onFree(b.ctr.FreeWork - w0)
+	b.met.OnFree(b.ctr.FreeWork - w0)
 }
 
 // AssignFree implements Module.
@@ -413,12 +413,12 @@ func (b *Bitvector) AssignFree(op, cycle, id int) []int {
 	if !b.updateMode {
 		if b.optimisticAssign(op, cycle) {
 			b.inst[id] = instance{op, cycle}
-			b.met.onAssignFree(b.ctr.AssignFreeWork-w0, 0)
+			b.met.OnAssignFree(b.ctr.AssignFreeWork-w0, 0)
 			return nil
 		}
 		// Conflict: transition from optimistic to update mode.
 		b.ctr.ModeTransitions++
-		b.met.onModeTransition()
+		b.met.OnModeTransition()
 		b.enterUpdateMode()
 	}
 	evicted := b.updateAssignFree(op, cycle, id)
@@ -427,7 +427,7 @@ func (b *Bitvector) AssignFree(op, cycle, id int) []int {
 	if len(evicted) > 0 {
 		b.ctr.AssignFreeEvicting++
 	}
-	b.met.onAssignFree(b.ctr.AssignFreeWork-w0, len(evicted))
+	b.met.OnAssignFree(b.ctr.AssignFreeWork-w0, len(evicted))
 	return evicted
 }
 
@@ -640,7 +640,7 @@ func (b *Bitvector) clearBit(r, cycle int) {
 // are checked individually.
 func (b *Bitvector) CheckWithAlt(origOp, cycle int) (int, bool) {
 	b.ctr.CheckWithAltCalls++
-	b.met.onCheckWithAlt()
+	b.met.OnCheckWithAlt()
 	if b.altUnion != nil || b.altUnion0 != nil {
 		if op, free, decided := b.fastCheckWithAlt(origOp, cycle); decided {
 			return op, free

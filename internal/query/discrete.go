@@ -22,7 +22,7 @@ type Discrete struct {
 	// calls so steady-state eviction allocates nothing.
 	evictScratch []int
 	ctr          Counters
-	met          *moduleObs // nil while metrics are disabled
+	met          *ModuleObs // nil while metrics are disabled
 }
 
 // NewDiscrete creates a discrete-representation module for the machine.
@@ -33,7 +33,7 @@ func NewDiscrete(e *resmodel.Expanded, ii int) *Discrete {
 		panic(fmt.Sprintf("query: NewDiscrete: negative II %d", ii))
 	}
 	d := &Discrete{e: e, c: compileFor(e, ii), ii: ii, nRes: len(e.Resources), inst: map[int]instance{},
-		met: newModuleObs("discrete")}
+		met: NewModuleObs("discrete")}
 	if ii > 0 {
 		d.width = ii
 	} else {
@@ -98,7 +98,7 @@ func (d *Discrete) Check(op, cycle int) bool {
 	d.ctr.CheckCalls++
 	w0 := d.ctr.CheckWork
 	ok := d.check(op, cycle)
-	d.met.onCheck(d.ctr.CheckWork - w0)
+	d.met.OnCheck(d.ctr.CheckWork - w0)
 	return ok
 }
 
@@ -126,7 +126,7 @@ func (d *Discrete) Assign(op, cycle, id int) {
 		*d.cell(u.Resource, cycle+u.Cycle) = int32(id)
 	}
 	d.inst[id] = instance{op, cycle}
-	d.met.onAssign(d.ctr.AssignWork - w0)
+	d.met.OnAssign(d.ctr.AssignWork - w0)
 }
 
 // AssignFree implements Module: conflicting instances are unscheduled and
@@ -152,7 +152,7 @@ func (d *Discrete) AssignFree(op, cycle, id int) []int {
 	if len(evicted) > 0 {
 		d.ctr.AssignFreeEvicting++
 	}
-	d.met.onAssignFree(d.ctr.AssignFreeWork-w0, len(evicted))
+	d.met.OnAssignFree(d.ctr.AssignFreeWork-w0, len(evicted))
 	return evicted
 }
 
@@ -192,13 +192,13 @@ func (d *Discrete) Free(op, cycle, id int) {
 		}
 	}
 	delete(d.inst, id)
-	d.met.onFree(d.ctr.FreeWork - w0)
+	d.met.OnFree(d.ctr.FreeWork - w0)
 }
 
 // CheckWithAlt implements Module.
 func (d *Discrete) CheckWithAlt(origOp, cycle int) (int, bool) {
 	d.ctr.CheckWithAltCalls++
-	d.met.onCheckWithAlt()
+	d.met.OnCheckWithAlt()
 	return checkWithAlt(d, d.e, origOp, cycle)
 }
 

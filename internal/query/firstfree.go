@@ -53,10 +53,14 @@ func FirstFreeWithAltNaive(m Module, origOp, lo, hi int) (int, int, bool) {
 	return -1, 0, false
 }
 
-// rangeCyclesProbed returns how many Check probes the naive FirstFree
-// loop would have issued: one per candidate up to and including the hit,
-// or the whole range on a miss.
-func rangeCyclesProbed(lo, hi, cycle int, ok bool) int64 {
+// RangeProbes returns how many Check probes the naive FirstFree loop
+// would have issued: one per candidate up to and including the hit, or
+// the whole range on a miss. It is exported so range-capable backends
+// outside this package (the automaton pair module) account their
+// FirstFreeCycles with exactly the same arithmetic — the invariant that
+// keeps the paper's work-per-check metric scan-strategy- and
+// representation-independent.
+func RangeProbes(lo, hi, cycle int, ok bool) int64 {
 	if ok {
 		return int64(cycle - lo + 1)
 	}
@@ -66,12 +70,12 @@ func rangeCyclesProbed(lo, hi, cycle int, ok bool) int64 {
 	return int64(hi - lo + 1)
 }
 
-// rangeCyclesProbedAlt is rangeCyclesProbed for FirstFreeWithAlt: the
-// naive loop tries every alternative at each failing cycle and stops at
-// the first free alternative (position altIdx in the group) of the hit
-// cycle. Keeping this arithmetic exact is what preserves the scheduler's
+// RangeProbesAlt is RangeProbes for FirstFreeWithAlt: the naive loop
+// tries every alternative at each failing cycle and stops at the first
+// free alternative (position altIdx in the group) of the hit cycle.
+// Keeping this arithmetic exact is what preserves the scheduler's
 // checks-per-decision statistic across scan strategies.
-func rangeCyclesProbedAlt(lo, hi, cycle, altIdx, group int, ok bool) int64 {
+func RangeProbesAlt(lo, hi, cycle, altIdx, group int, ok bool) int64 {
 	if ok {
 		return int64(cycle-lo)*int64(group) + int64(altIdx) + 1
 	}
@@ -88,8 +92,8 @@ func (b *Bitvector) FirstFree(op, lo, hi int) (int, bool) {
 	b.ctr.FirstFreeCalls++
 	w0, s0 := b.ctr.FirstFreeWork, b.ctr.FirstFreeSkips
 	cycle, ok := b.firstFree(op, lo, hi)
-	b.ctr.FirstFreeCycles += rangeCyclesProbed(lo, hi, cycle, ok)
-	b.met.onFirstFree(b.ctr.FirstFreeWork-w0, b.ctr.FirstFreeSkips-s0)
+	b.ctr.FirstFreeCycles += RangeProbes(lo, hi, cycle, ok)
+	b.met.OnFirstFree(b.ctr.FirstFreeWork-w0, b.ctr.FirstFreeSkips-s0)
 	return cycle, ok
 }
 
@@ -237,12 +241,12 @@ func (b *Bitvector) FirstFreeWithAlt(origOp, lo, hi int) (int, int, bool) {
 		panic(fmt.Sprintf("query: negative cycle %d on linear reserved table", lo))
 	}
 	b.ctr.FirstFreeWithAltCalls++
-	b.met.onFirstFreeWithAlt()
+	b.met.OnFirstFreeWithAlt()
 	group := b.e.AltGroup[origOp]
 	w0, s0 := b.ctr.FirstFreeWork, b.ctr.FirstFreeSkips
 	op, cycle, altIdx, ok := b.firstFreeAlt(group, lo, hi)
-	b.ctr.FirstFreeCycles += rangeCyclesProbedAlt(lo, hi, cycle, altIdx, len(group), ok)
-	b.met.onFirstFree(b.ctr.FirstFreeWork-w0, b.ctr.FirstFreeSkips-s0)
+	b.ctr.FirstFreeCycles += RangeProbesAlt(lo, hi, cycle, altIdx, len(group), ok)
+	b.met.OnFirstFree(b.ctr.FirstFreeWork-w0, b.ctr.FirstFreeSkips-s0)
 	return op, cycle, ok
 }
 
@@ -296,8 +300,8 @@ func (d *Discrete) FirstFree(op, lo, hi int) (int, bool) {
 	d.ctr.FirstFreeCalls++
 	w0 := d.ctr.FirstFreeWork
 	cycle, ok := d.firstFree(op, lo, hi)
-	d.ctr.FirstFreeCycles += rangeCyclesProbed(lo, hi, cycle, ok)
-	d.met.onFirstFree(d.ctr.FirstFreeWork-w0, 0)
+	d.ctr.FirstFreeCycles += RangeProbes(lo, hi, cycle, ok)
+	d.met.OnFirstFree(d.ctr.FirstFreeWork-w0, 0)
 	return cycle, ok
 }
 
@@ -411,12 +415,12 @@ func (d *Discrete) FirstFreeWithAlt(origOp, lo, hi int) (int, int, bool) {
 		panic(fmt.Sprintf("query: negative cycle %d on linear reserved table", lo))
 	}
 	d.ctr.FirstFreeWithAltCalls++
-	d.met.onFirstFreeWithAlt()
+	d.met.OnFirstFreeWithAlt()
 	group := d.e.AltGroup[origOp]
 	w0 := d.ctr.FirstFreeWork
 	op, cycle, altIdx, ok := d.firstFreeAlt(group, lo, hi)
-	d.ctr.FirstFreeCycles += rangeCyclesProbedAlt(lo, hi, cycle, altIdx, len(group), ok)
-	d.met.onFirstFree(d.ctr.FirstFreeWork-w0, 0)
+	d.ctr.FirstFreeCycles += RangeProbesAlt(lo, hi, cycle, altIdx, len(group), ok)
+	d.met.OnFirstFree(d.ctr.FirstFreeWork-w0, 0)
 	return op, cycle, ok
 }
 

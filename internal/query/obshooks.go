@@ -18,12 +18,15 @@ func (f *fnObs) observe(work int64) {
 	f.probe.Observe(work)
 }
 
-// moduleObs holds a module's handles into the default registry. A module
-// built while metrics are disabled carries a nil *moduleObs and every
+// ModuleObs holds a module's handles into the default registry. A module
+// built while metrics are disabled carries a nil *ModuleObs and every
 // hook below degenerates to an inlined nil check, keeping the query hot
 // path at 0 allocs/op and unmeasurable overhead (pinned by the alloc
-// tests and ReportAllocs benchmarks in this package).
-type moduleObs struct {
+// tests and ReportAllocs benchmarks in this package). It is exported —
+// together with RangeProbes and RegisterBackend — so backends defined
+// outside this package (the automaton pair module) publish the same
+// query.<kind>.* metric names under the same hot-path bargain.
+type ModuleObs struct {
 	check, assign, assignFree, free fnObs
 	firstFree                       fnObs
 	checkWithAlt                    *obs.Counter
@@ -33,10 +36,10 @@ type moduleObs struct {
 	modeTransitions                 *obs.Counter
 }
 
-// newModuleObs acquires the "query.<kind>" scope handles, or nil while
+// NewModuleObs acquires the "query.<kind>" scope handles, or nil while
 // the default registry is disabled. Handles are shared by name, so every
 // module of the same kind accumulates into the same process totals.
-func newModuleObs(kind string) *moduleObs {
+func NewModuleObs(kind string) *ModuleObs {
 	if !obs.Enabled() {
 		return nil
 	}
@@ -44,7 +47,7 @@ func newModuleObs(kind string) *moduleObs {
 	fn := func(name string) fnObs {
 		return fnObs{calls: s.Counter(name + ".calls"), probe: s.Histogram(name + ".probe")}
 	}
-	return &moduleObs{
+	return &ModuleObs{
 		check:            fn("check"),
 		assign:           fn("assign"),
 		assignFree:       fn("assign_free"),
@@ -58,21 +61,21 @@ func newModuleObs(kind string) *moduleObs {
 	}
 }
 
-func (m *moduleObs) onCheck(work int64) {
+func (m *ModuleObs) OnCheck(work int64) {
 	if m == nil {
 		return
 	}
 	m.check.observe(work)
 }
 
-func (m *moduleObs) onAssign(work int64) {
+func (m *ModuleObs) OnAssign(work int64) {
 	if m == nil {
 		return
 	}
 	m.assign.observe(work)
 }
 
-func (m *moduleObs) onAssignFree(work int64, evicted int) {
+func (m *ModuleObs) OnAssignFree(work int64, evicted int) {
 	if m == nil {
 		return
 	}
@@ -80,26 +83,26 @@ func (m *moduleObs) onAssignFree(work int64, evicted int) {
 	m.evictions.Add(int64(evicted))
 }
 
-func (m *moduleObs) onFree(work int64) {
+func (m *ModuleObs) OnFree(work int64) {
 	if m == nil {
 		return
 	}
 	m.free.observe(work)
 }
 
-func (m *moduleObs) onCheckWithAlt() {
+func (m *ModuleObs) OnCheckWithAlt() {
 	if m == nil {
 		return
 	}
 	m.checkWithAlt.Inc()
 }
 
-// onFirstFree records one range query and its work units under
+// OnFirstFree records one range query and its work units under
 // query.<kind>.firstfree.calls/.probe (per-op probe lengths — the
 // ISSUE's per-op firstfree.probes histogram), plus any candidate
 // cycles the occupancy summary answered on its own
 // (query.<kind>.firstfree.summary_skips; always 0 for discrete).
-func (m *moduleObs) onFirstFree(work, skips int64) {
+func (m *ModuleObs) OnFirstFree(work, skips int64) {
 	if m == nil {
 		return
 	}
@@ -109,14 +112,14 @@ func (m *moduleObs) onFirstFree(work, skips int64) {
 	}
 }
 
-func (m *moduleObs) onFirstFreeWithAlt() {
+func (m *ModuleObs) OnFirstFreeWithAlt() {
 	if m == nil {
 		return
 	}
 	m.firstFreeWithAlt.Inc()
 }
 
-func (m *moduleObs) onModeTransition() {
+func (m *ModuleObs) OnModeTransition() {
 	if m == nil {
 		return
 	}

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"time"
 
+	_ "repro/internal/automaton" // registers the "fsa" query backend
 	"repro/internal/ddg"
 	"repro/internal/obs"
 	"repro/internal/query"
@@ -22,7 +23,10 @@ type BatchRequest struct {
 	Machine string `json:"machine"`
 	// Use selects "reduced" (default) or "original" description.
 	Use string `json:"use,omitempty"`
-	// Representation selects "discrete" (default) or "bitvector".
+	// Representation selects "discrete" (default), "bitvector", "fsa"
+	// (the forbidden-latency pair automaton, linear tables only) or
+	// "auto" (measured per-machine selection; the chosen backend is
+	// reported in the response).
 	Representation string `json:"representation,omitempty"`
 	// K is the bitvector packing (cycles per word); 0 selects the
 	// densest legal packing for the description's resource count.
@@ -100,11 +104,14 @@ type BatchResult struct {
 	Alts     []int `json:"alts,omitempty"`
 }
 
-// BatchResponse is the body of a successful POST /v1/batch.
+// BatchResponse is the body of a successful POST /v1/batch. Backend is
+// the concrete backend that served the batch — equal to Representation
+// when one was pinned, the measured winner under "auto".
 type BatchResponse struct {
 	Machine        string         `json:"machine"`
 	Use            string         `json:"use"`
 	Representation string         `json:"representation"`
+	Backend        string         `json:"backend"`
 	II             int            `json:"ii"`
 	Results        []BatchResult  `json:"results"`
 	Counters       query.Counters `json:"counters"`
@@ -145,11 +152,13 @@ func (me *machineEntry) machineFor(use string) *resmodel.Machine {
 
 // buildModule validates the module configuration of a batch or session
 // request and constructs a fresh query module over the selected
-// description variant. It returns the normalized use/representation
-// strings (defaults applied) alongside the module; every invalid
-// configuration maps to a 4xx httpError.
+// description variant through query.Select, so every representation the
+// registry knows — including "fsa" and measured "auto" selection — is
+// served by the same chokepoint. It returns the normalized
+// use/representation strings (defaults applied) alongside the
+// selection; every invalid configuration maps to a 4xx httpError.
 func (s *Server) buildModule(me *machineEntry, use, rep string, k, wordBits, ii int) (
-	e *resmodel.Expanded, mod query.Module, useOut, repOut string, herr *httpError) {
+	e *resmodel.Expanded, sel *query.Selection, useOut, repOut string, herr *httpError) {
 	switch use {
 	case "":
 		use = "reduced"
@@ -164,25 +173,18 @@ func (s *Server) buildModule(me *machineEntry, use, rep string, k, wordBits, ii 
 	}
 
 	switch rep {
-	case "", "discrete":
+	case "":
 		rep = "discrete"
-		mod = query.NewDiscrete(e, ii)
-	case "bitvector":
-		if wordBits == 0 {
-			wordBits = 64
-		}
-		if k == 0 {
-			k = query.MaxCyclesPerWord(len(e.Resources), wordBits)
-		}
-		var err error
-		mod, err = query.NewBitvector(e, k, wordBits, ii)
-		if err != nil {
-			return nil, nil, "", "", errf(http.StatusBadRequest, "%v", err)
-		}
+	case "discrete", "bitvector", "fsa", "auto":
 	default:
-		return nil, nil, "", "", errf(http.StatusBadRequest, "bad representation %q (want discrete or bitvector)", rep)
+		return nil, nil, "", "", errf(http.StatusBadRequest,
+			"bad representation %q (want discrete, bitvector, fsa or auto)", rep)
 	}
-	return e, mod, use, rep, nil
+	sel, err := query.Select(e, query.Policy{Representation: rep, II: ii, K: k, WordBits: wordBits})
+	if err != nil {
+		return nil, nil, "", "", errf(http.StatusBadRequest, "%v", err)
+	}
+	return e, sel, use, rep, nil
 }
 
 // placed records where a live instance was scheduled so frees and id
@@ -353,26 +355,30 @@ type opExec struct {
 	m        *resmodel.Machine // e's machine, for the schedule op's MII bounds
 	mod      query.Module
 	rq       query.RangeQuerier // nil when the representation has none
-	rep      string
+	rep      string             // requested representation (normalized; may be "auto")
+	backend  string             // concrete backend serving mod
+	pol      query.Policy       // module policy; schedule-op arenas re-select per II
 	ii       int
 	maxCycle int
 	live     map[int]placed
-	// sa is the schedule op's arena (lazily built): per-II discrete
-	// modules over e, reused across the executor's schedule ops. It is
-	// independent of mod — a schedule op never touches the session's
-	// partial MRT.
+	// sa is the schedule op's arena (lazily built): per-II modules over
+	// e selected under pol, reused across the executor's schedule ops.
+	// It is independent of mod — a schedule op never touches the
+	// session's partial MRT.
 	sa *sched.Arena
 }
 
-func newOpExec(e *resmodel.Expanded, m *resmodel.Machine, mod query.Module, rep string, ii, maxCycle int) *opExec {
-	rq, _ := mod.(query.RangeQuerier)
+func newOpExec(e *resmodel.Expanded, m *resmodel.Machine, sel *query.Selection, rep string, pol query.Policy, maxCycle int) *opExec {
+	rq, _ := sel.Module.(query.RangeQuerier)
 	return &opExec{
 		e:        e,
 		m:        m,
-		mod:      mod,
+		mod:      sel.Module,
 		rq:       rq,
 		rep:      rep,
-		ii:       ii,
+		backend:  sel.Backend,
+		pol:      pol,
+		ii:       pol.II,
 		maxCycle: maxCycle,
 		live:     map[int]placed{},
 	}
@@ -399,6 +405,10 @@ func (x *opExec) execSchedule(i int, op *BatchOp, res *opResult) *httpError {
 	spec := op.Loop
 	if spec == nil {
 		return errf(http.StatusBadRequest, "op %d: schedule needs a loop", i)
+	}
+	if x.rep == "fsa" {
+		return errf(http.StatusBadRequest,
+			"op %d: representation \"fsa\" does not support the schedule op (modulo scheduling needs a reduced-table backend)", i)
 	}
 	if n := len(spec.Ops); n == 0 || n > scheduleMaxLoopOps {
 		return errf(http.StatusBadRequest, "op %d: loop has %d ops, want [1, %d]", i, len(spec.Ops), scheduleMaxLoopOps)
@@ -432,8 +442,19 @@ func (x *opExec) execSchedule(i int, op *BatchOp, res *opResult) *httpError {
 		return errf(http.StatusBadRequest, "op %d: invalid loop: %v", i, err)
 	}
 	if x.sa == nil {
-		e := x.e
-		x.sa = sched.NewArena(func(ii int) query.Module { return query.NewDiscrete(e, ii) })
+		e, pol := x.e, x.pol
+		x.sa = sched.NewArena(func(ii int) query.Module {
+			p := pol
+			p.II = ii
+			if sel, err := query.Select(e, p); err == nil {
+				return sel.Module
+			}
+			// Selection cannot fail for the policies buildModule admits
+			// here at any II (the fsa pin is rejected above, and the
+			// bitvector packing checks are II-independent), but serve must
+			// never panic — fall back to the reference backend.
+			return query.NewDiscrete(e, ii)
+		})
 	}
 	switch op.Scheduler {
 	case "", "optimal":
@@ -643,11 +664,12 @@ func (s *Server) execBatch(r *http.Request, me *machineEntry, req *BatchRequest)
 	if len(req.Ops) > s.cfg.MaxBatchOps {
 		return nil, errf(http.StatusBadRequest, "batch has %d ops, limit %d", len(req.Ops), s.cfg.MaxBatchOps)
 	}
-	e, mod, use, rep, herr := s.buildModule(me, req.Use, req.Representation, req.K, req.WordBits, req.II)
+	e, sel, use, rep, herr := s.buildModule(me, req.Use, req.Representation, req.K, req.WordBits, req.II)
 	if herr != nil {
 		return nil, herr
 	}
-	x := newOpExec(e, me.machineFor(use), mod, rep, req.II, s.cfg.MaxCycle)
+	pol := query.Policy{Representation: rep, II: req.II, K: req.K, WordBits: req.WordBits}
+	x := newOpExec(e, me.machineFor(use), sel, rep, pol, s.cfg.MaxCycle)
 	results := make([]BatchResult, 0, len(req.Ops))
 	var res opResult
 	for i := range req.Ops {
@@ -667,8 +689,9 @@ func (s *Server) execBatch(r *http.Request, me *machineEntry, req *BatchRequest)
 		Machine:        me.name,
 		Use:            use,
 		Representation: rep,
+		Backend:        x.backend,
 		II:             req.II,
 		Results:        results,
-		Counters:       *mod.Counters(),
+		Counters:       *x.mod.Counters(),
 	}, nil
 }

@@ -19,22 +19,22 @@ import (
 // description variant, linear or modulo.
 type batchCase struct {
 	use            string // "original" | "reduced"
-	representation string // "discrete" | "bitvector"
+	representation string // "discrete" | "bitvector" | "fsa" | "auto"
 	ii             int
 }
 
-// localModule builds the same module execBatch would for the case.
+// localModule builds the same module execBatch would for the case,
+// through the same selection chokepoint. A nil return means the pinned
+// backend cannot serve this description (the FSA over its state budget
+// on a random machine); callers skip the case, mirroring the server's
+// 400.
 func localModule(t *testing.T, e *resmodel.Expanded, c batchCase) query.Module {
 	t.Helper()
-	if c.representation == "bitvector" {
-		k := query.MaxCyclesPerWord(len(e.Resources), 64)
-		mod, err := query.NewBitvector(e, k, 64, c.ii)
-		if err != nil {
-			t.Fatalf("bitvector module: %v", err)
-		}
-		return mod
+	sel, err := query.Select(e, query.Policy{Representation: c.representation, II: c.ii})
+	if err != nil {
+		return nil
 	}
-	return query.NewDiscrete(e, c.ii)
+	return sel.Module
 }
 
 // genSequence generates a random query sequence that is valid under the
@@ -263,11 +263,19 @@ func TestDifferentialServedVsInProcess(t *testing.T) {
 			{"original", "bitvector", ii},
 			{"reduced", "discrete", 0},
 			{"reduced", "bitvector", ii},
+			{"reduced", "fsa", 0},
+			{"original", "fsa", 0},
+			{"reduced", "auto", 0},
+			{"original", "auto", ii},
 		} {
 			for _, assignFree := range []bool{false, true} {
 				e := sess.expandedFor(c.use)
+				probe := localModule(t, e, c)
+				if probe == nil {
+					continue // pinned backend infeasible here (FSA over budget)
+				}
 				seqSeed := rng.Int63()
-				ops := genSequence(rand.New(rand.NewSource(seqSeed)), e, localModule(t, e, c), c.ii, assignFree, 100)
+				ops := genSequence(rand.New(rand.NewSource(seqSeed)), e, probe, c.ii, assignFree, 100)
 				ref := localModule(t, e, c)
 				want := replayOps(ref, ops)
 
@@ -291,6 +299,40 @@ func TestDifferentialServedVsInProcess(t *testing.T) {
 					t.Errorf("machine %d %+v assignFree=%v: served counters %+v differ from in-process %+v",
 						i, c, assignFree, full.Counters, *ref.Counters())
 				}
+				if c.representation == "auto" {
+					wantSel, err := query.Select(e, query.Policy{Representation: "auto", II: c.ii})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if full.Backend != wantSel.Backend {
+						t.Errorf("machine %d %+v: served backend %q, local auto-selection picked %q",
+							i, c, full.Backend, wantSel.Backend)
+					}
+				} else if full.Backend != c.representation {
+					t.Errorf("machine %d %+v: served backend %q for pinned representation", i, c, full.Backend)
+				}
+
+				// Cross-representation equivalence on the wire: the FSA
+				// must answer the identical sequence exactly as the
+				// reference reduced-table backend (modulo eviction
+				// report order).
+				if c.representation == "fsa" {
+					reqD := req
+					reqD.Representation = "discrete"
+					_, dFull := postBatch(t, ts.URL, reqD)
+					a, err := json.Marshal(sortedEvicted(full.Results))
+					if err != nil {
+						t.Fatal(err)
+					}
+					b, err := json.Marshal(sortedEvicted(dFull.Results))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(a, b) {
+						t.Fatalf("machine %d %+v assignFree=%v: fsa answers differ from discrete\n%s\nvs\n%s",
+							i, c, assignFree, a, b)
+					}
+				}
 
 				// The wire-level reduction theorem: replaying the same
 				// valid sequence against the other description variant
@@ -299,6 +341,9 @@ func TestDifferentialServedVsInProcess(t *testing.T) {
 				otherUse := "reduced"
 				if c.use == "reduced" {
 					otherUse = "original"
+				}
+				if c.representation == "fsa" && localModule(t, sess.expandedFor(otherUse), c) == nil {
+					continue // the other variant's automata exceed the budget
 				}
 				req.Use = otherUse
 				_, otherFull := postBatch(t, ts.URL, req)

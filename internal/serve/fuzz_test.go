@@ -50,6 +50,24 @@ func FuzzServeBatchDecode(f *testing.F) {
 	f.Add(mustJSON(BatchRequest{Machine: "nope", Ops: []BatchOp{{Fn: "check"}}}))
 	f.Add(mustJSON(BatchRequest{Machine: "example", Use: "shrunk", Ops: []BatchOp{{Fn: "check"}}}))
 	f.Add(mustJSON(BatchRequest{Machine: "example", Representation: "automaton"}))
+	// Representation routing: measured auto-selection, the pinned FSA
+	// backend, the FSA's linear-only rejection (ii > 0), and the FSA's
+	// schedule-op rejection.
+	f.Add(mustJSON(BatchRequest{Machine: "example", Representation: "auto", Ops: []BatchOp{
+		{Fn: "check", Op: 0, Cycle: 0},
+		{Fn: "assign", Op: 0, Cycle: 4, ID: 1},
+		{Fn: "first_free_alt", Op: 0, Lo: 0, Hi: 12},
+	}}))
+	f.Add(mustJSON(BatchRequest{Machine: "example", Representation: "fsa", Ops: []BatchOp{
+		{Fn: "check", Op: 0, Cycle: 0},
+		{Fn: "assign_free", Op: 0, Cycle: 2, ID: 7},
+		{Fn: "assign_free", Op: 0, Cycle: 2, ID: 8},
+		{Fn: "first_free", Op: 0, Lo: 0, Hi: 12},
+	}}))
+	f.Add(mustJSON(BatchRequest{Machine: "example", Representation: "fsa", II: 3, Ops: []BatchOp{{Fn: "check"}}}))
+	f.Add(mustJSON(BatchRequest{Machine: "example", Representation: "fsa", Ops: []BatchOp{
+		{Fn: "schedule", Loop: &LoopSpec{Ops: []int{0}}},
+	}}))
 	f.Add(mustJSON(BatchRequest{Machine: "example", Ops: []BatchOp{{Fn: "evict", Op: 0}}}))
 	f.Add(mustJSON(BatchRequest{Machine: "example", Ops: []BatchOp{{Fn: "check", Op: 9999}}}))
 	f.Add(mustJSON(BatchRequest{Machine: "example", Ops: []BatchOp{{Fn: "check", Op: 0, Cycle: -1}}}))
@@ -167,9 +185,16 @@ func FuzzServeSessionStream(f *testing.F) {
 	f.Add([]byte{0xff, 0xfe, 0x00, 0x0a})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// Alternate the session's representation by input parity so the
+		// stream contract is fuzzed over the FSA backend too, while corpus
+		// replay stays deterministic per input.
+		body := `{"machine":"example","representation":"auto"}`
+		if len(data)%2 == 1 {
+			body = `{"machine":"example","representation":"fsa"}`
+		}
 		rec := httptest.NewRecorder()
 		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/sessions",
-			bytes.NewReader([]byte(`{"machine":"example"}`))))
+			bytes.NewReader([]byte(body))))
 		if rec.Code != http.StatusOK {
 			t.Fatalf("session create: status %d: %s", rec.Code, rec.Body.Bytes())
 		}

@@ -68,7 +68,8 @@ type SessionRequest struct {
 	Machine string `json:"machine"`
 	// Use selects "reduced" (default) or "original" description.
 	Use string `json:"use,omitempty"`
-	// Representation selects "discrete" (default) or "bitvector".
+	// Representation selects "discrete" (default), "bitvector", "fsa"
+	// (linear tables only) or "auto" (measured per-machine selection).
 	Representation string `json:"representation,omitempty"`
 	// K is the bitvector packing (cycles per word); 0 selects the
 	// densest legal packing.
@@ -81,12 +82,15 @@ type SessionRequest struct {
 }
 
 // SessionInfo describes one session (create response, GET info, list
-// entries). Counters is included on single-session GETs only.
+// entries). Backend is the concrete backend serving the session's
+// module (the measured winner under "auto"). Counters is included on
+// single-session GETs only.
 type SessionInfo struct {
 	SessionID      string          `json:"session_id"`
 	Machine        string          `json:"machine"`
 	Use            string          `json:"use"`
 	Representation string          `json:"representation"`
+	Backend        string          `json:"backend"`
 	II             int             `json:"ii"`
 	Ops            int64           `json:"ops"`
 	IdleMS         int64           `json:"idle_ms"`
@@ -115,6 +119,7 @@ func (sess *Session) info(includeCounters bool, now time.Time) SessionInfo {
 		Machine:        sess.machine,
 		Use:            sess.use,
 		Representation: sess.rep,
+		Backend:        sess.x.backend,
 		II:             sess.ii,
 		Ops:            sess.ops.Load(),
 		IdleMS:         (now.UnixNano() - sess.lastUse.Load()) / int64(time.Millisecond),
@@ -175,13 +180,14 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown machine %q (register it via /v1/reduce)", req.Machine))
 		return
 	}
-	e, mod, use, rep, herr := s.buildModule(me, req.Use, req.Representation, req.K, req.WordBits, req.II)
+	e, sel, use, rep, herr := s.buildModule(me, req.Use, req.Representation, req.K, req.WordBits, req.II)
 	if herr != nil {
 		writeErr(w, herr.status, herr.msg)
 		return
 	}
 	s.expireSessions()
 	now := s.now()
+	pol := query.Policy{Representation: rep, II: req.II, K: req.K, WordBits: req.WordBits}
 	sess := &Session{
 		id:      fmt.Sprintf("s-%06d", s.sessionSeq.Add(1)),
 		machine: me.name,
@@ -189,7 +195,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		rep:     rep,
 		ii:      req.II,
 		lock:    make(chan struct{}, 1),
-		x:       newOpExec(e, me.machineFor(use), mod, rep, req.II, s.cfg.MaxCycle),
+		x:       newOpExec(e, me.machineFor(use), sel, rep, pol, s.cfg.MaxCycle),
 	}
 	sess.lastUse.Store(now.UnixNano())
 	for range s.sessions.put(sess.id, sess) {

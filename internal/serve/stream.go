@@ -144,16 +144,18 @@ func (s *Server) handleSessionStream(w http.ResponseWriter, r *http.Request) {
 	sess.ops.Add(int64(n))
 	obs.Add("serve.stream.ops", int64(n))
 	sess.touch(s.now())
-	trailer, _ := json.Marshal(streamTrailer{Done: true, Ops: n, Counters: *sess.x.mod.Counters()})
+	trailer, _ := json.Marshal(streamTrailer{Done: true, Ops: n, Backend: sess.x.backend, Counters: *sess.x.mod.Counters()})
 	out.Write(trailer)
 	out.WriteByte('\n')
 	flushLine()
 }
 
 // streamTrailer is the terminal line of a successful stream: the op
-// count answered on this request and the session's cumulative counters.
+// count answered on this request, the concrete backend serving the
+// session's module, and the session's cumulative counters.
 type streamTrailer struct {
 	Done     bool           `json:"done"`
 	Ops      int            `json:"ops"`
+	Backend  string         `json:"backend"`
 	Counters query.Counters `json:"counters"`
 }
