@@ -16,6 +16,7 @@
 #   make opt-gap          regenerate the OPTGAP.md optimality-gap report
 #   make bench-repr       regenerate BENCH_repr.json on this host
 #   make crossover        regenerate the CROSSOVER.md backend frontier
+#   make profile          CPU+heap pprof profiles of the throughput run
 #   make bench-compare    re-measure and gate against BENCH_reduction.json,
 #                         BENCH_sched.json, BENCH_throughput.json,
 #                         BENCH_serve.json, BENCH_opt.json and
@@ -24,7 +25,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet bench bench-json bench-reduction bench-sched bench-throughput bench-serve bench-opt bench-repr crossover bench-compare bench-alloc metrics opt-gap fuzz-smoke serve-smoke check verify clean
+.PHONY: all build test race vet bench bench-json bench-reduction bench-sched bench-throughput bench-serve bench-opt bench-repr crossover bench-compare bench-alloc metrics opt-gap profile fuzz-smoke serve-smoke check verify clean
 
 all: build test
 
@@ -138,6 +139,15 @@ crossover:
 	$(GO) run ./cmd/paper -crossover CROSSOVER.md
 	@git diff --quiet -- CROSSOVER.md || { echo "CROSSOVER.md: regeneration changed the committed report" >&2; exit 1; }
 	@echo "CROSSOVER.md OK"
+
+# pprof profiles of the scheduler-throughput hot path — the run the
+# bit-parallel verdict scan was tuned against. Every -bench-* mode
+# accepts the same flags; this target profiles the headline one.
+# Inspect with `go tool pprof -top cpu.pprof` (or mem.pprof).
+profile:
+	$(GO) run ./cmd/paper -bench-throughput /tmp/BENCH_throughput.profile.json \
+		-bench-workers 1 -cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "wrote cpu.pprof and mem.pprof; inspect with: go tool pprof -top cpu.pprof"
 
 # Non-tier-1 perf smoke: re-measure the per-stage, scheduler and
 # throughput reports and fail if anything regressed more than 20%

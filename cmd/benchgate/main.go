@@ -21,8 +21,11 @@
 // the report-level ones otherwise) is compared first: an entry whose
 // current host shape differs from the baseline's is skipped with a
 // warning rather than failed — a 1-core CI runner cannot meaningfully
-// gate numbers measured on an 8-core box. -entries restricts the gate
-// to baseline entries matching a regular expression.
+// gate numbers measured on an 8-core box. Every report writer records
+// the per-entry host shape, so the rule is uniform across all
+// BENCH_*.json gates, and the final summary line counts gated and
+// skipped entries so an all-skip run is visible at a glance. -entries
+// restricts the gate to baseline entries matching a regular expression.
 //
 // Exit status: 0 when every baseline entry holds, 1 on any regression or
 // missing entry, 2 on usage or I/O errors.
@@ -126,13 +129,12 @@ func main() {
 	}
 
 	failed := false
-	gated := 0
+	gated, skipped := 0, 0
 	minDeltaNS := int64(*minDeltaMS * 1e6)
 	for _, b := range base.Entries {
 		if nameRE != nil && !nameRE.MatchString(b.Name) {
 			continue
 		}
-		gated++
 		c, ok := curByName[b.Name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "benchgate: FAIL %-22s missing from %s\n", b.Name, *currentPath)
@@ -144,8 +146,10 @@ func main() {
 		if bg != cg || bn != cn {
 			fmt.Fprintf(os.Stderr, "benchgate: skip %-22s host shape %d/%d differs from baseline %d/%d (gomaxprocs/num_cpu)\n",
 				b.Name, cg, cn, bg, bn)
+			skipped++
 			continue
 		}
+		gated++
 		ratio := float64(c.SerialNS) / float64(b.SerialNS)
 		if c.SerialNS > int64(float64(b.SerialNS)**maxRegress) && c.SerialNS-b.SerialNS > minDeltaNS {
 			fmt.Fprintf(os.Stderr, "benchgate: FAIL %-22s serial %8.2fms vs baseline %8.2fms (%.2fx > %.2fx)\n",
@@ -159,10 +163,10 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
-	if gated == 0 {
+	if gated == 0 && skipped == 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: no baseline entries match -entries %q\n", *entriesRE)
 		os.Exit(2)
 	}
-	fmt.Printf("benchgate: %d entries within %.0f%% of %s\n",
-		gated, (*maxRegress-1)*100, *baselinePath)
+	fmt.Printf("benchgate: %d entries within %.0f%% of %s, %d skipped (host shape)\n",
+		gated, (*maxRegress-1)*100, *baselinePath, skipped)
 }

@@ -69,7 +69,8 @@ func timeIt(fn func()) int64 {
 }
 
 func entry(name string, workers int, serial, par func()) benchEntry {
-	e := benchEntry{Name: name, Workers: workers}
+	e := benchEntry{Name: name, Workers: workers,
+		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 	e.SerialNS = timeIt(serial)
 	e.ParallelNS = timeIt(par)
 	if e.ParallelNS > 0 {

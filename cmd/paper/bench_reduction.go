@@ -103,7 +103,8 @@ func runBenchReduction(path string, workers int) error {
 	serial := measureStages(1)
 	par := measureStages(workers)
 	mk := func(name string, s, p int64) benchEntry {
-		e := benchEntry{Name: name, Workers: workers, SerialNS: s, ParallelNS: p}
+		e := benchEntry{Name: name, Workers: workers, SerialNS: s, ParallelNS: p,
+			GoMaxProcs: rep.GoMaxProcs, NumCPU: rep.NumCPU}
 		if p > 0 {
 			e.Speedup = float64(s) / float64(p)
 		}

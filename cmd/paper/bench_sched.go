@@ -93,6 +93,8 @@ func runBenchSched(path string, workers, loopLimit int) error {
 			Workers:    workers,
 			SerialNS:   rangeNS,
 			ParallelNS: naiveNS,
+			GoMaxProcs: rep.GoMaxProcs,
+			NumCPU:     rep.NumCPU,
 		}
 		if rangeNS > 0 {
 			e.Speedup = float64(naiveNS) / float64(rangeNS)

@@ -21,6 +21,7 @@
 //	paper -bench-repr BENCH_repr.json  # corpus wall time per query backend
 //	paper -bench-opt BENCH_opt.json -bench-workers 1,8  # exact-scheduler wall time
 //	paper -table 6 -metrics metrics.json   # emit a machine-readable profile
+//	paper -bench-throughput out.json -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // -parallel fans the per-loop scheduling of Tables 5/6 and the kernel
 // report across a bounded worker pool (0 = GOMAXPROCS); output is
@@ -36,12 +37,20 @@
 // stdout). The emitted JSON is validated before the command exits.
 // Metrics change no output and, disabled, cost the query hot path
 // nothing.
+//
+// -cpuprofile FILE and -memprofile FILE write pprof profiles of the
+// whole run (any mode; the -bench-* modes are the intended subjects —
+// `make profile` captures the headline throughput run). The CPU profile
+// covers everything after flag parsing; the heap profile is written at
+// exit after a final GC.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/machines"
 	"repro/internal/obs"
@@ -72,9 +81,41 @@ func main() {
 		corpus    = flag.Int("corpus", 100000, "streamed-corpus size for -bench-throughput")
 		benchWkrs = flag.String("bench-workers", "1,2,4,8", "comma-separated worker counts for -bench-throughput")
 		metrics   = flag.String("metrics", "", "enable the observability layer and write a JSON metrics snapshot to this file (\"-\" = stdout)")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run (any mode, e.g. -bench-throughput) to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
 	workers := parallel.Workers(*nParallel)
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paper:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "paper:", err)
+				os.Exit(1)
+			}
+		}()
+	}
 	if *metrics != "" {
 		obs.Default().SetEnabled(true)
 		defer func() {

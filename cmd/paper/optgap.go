@@ -53,11 +53,11 @@ type loopgenCorpus struct {
 
 // optGapRow aggregates one stratum of the report.
 type optGapRow struct {
-	name                     string
-	loops, proven, seed      int
-	fallbacks                int
-	sumMII, sumOpt, sumIMS   int
-	nodes                    int64
+	name                   string
+	loops, proven, seed    int
+	fallbacks              int
+	sumMII, sumOpt, sumIMS int
+	nodes                  int64
 }
 
 // runOptGap schedules the stratified corpus with both engines and writes

@@ -17,6 +17,7 @@ package automaton
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/resmodel"
 )
@@ -167,14 +168,10 @@ func (a *Automaton) NumOps() int { return a.numOps }
 // comparison encodes each factored state in 8 bits; an unfactored
 // automaton needs ceil(log2(numStates)) bits).
 func (a *Automaton) BitsPerState() int {
-	bits := 0
-	for n := a.NumStates() - 1; n > 0; n >>= 1 {
-		bits++
+	if n := a.NumStates(); n > 1 {
+		return bits.Len(uint(n - 1))
 	}
-	if bits == 0 {
-		bits = 1
-	}
-	return bits
+	return 1
 }
 
 // Walker traverses the automaton along a schedule, one cycle at a time.

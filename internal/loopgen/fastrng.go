@@ -1,0 +1,167 @@
+package loopgen
+
+import "math/rand"
+
+// fastSource is a bit-exact drop-in for math/rand's default source (the
+// Mitchell & Reeds additive lagged-Fibonacci generator behind
+// rand.NewSource) with a ~3x cheaper Seed. The corpus streams reseed
+// their generator once per loop — the price of random access into a
+// 10^5..10^6-loop corpus — and the CPU profile of the streamed
+// throughput benchmark showed that reseeding alone was ~20% of the
+// whole scheduling pipeline: Seed rebuilds the generator's 607-word
+// feedback register, three Lehmer steps per word, and math/rand's
+// Schrage-decomposition step chains ~1840 dependent divisions.
+//
+// This implementation produces the identical stream (pinned per draw
+// against math/rand by TestFastSourceMatchesMathRand) from two exact
+// rewrites of the seeding loop:
+//
+//   - Each Lehmer step x' = 48271*x mod 2^31-1 uses the Mersenne-prime
+//     fold ((p & M) + (p >> 31), one conditional subtract) instead of
+//     Schrage's hi/lo decomposition — same residue, fewer operations,
+//     shorter dependency chain.
+//   - The register words consume seed-chain values x_{21+3i}, x_{22+3i},
+//     x_{23+3i}; advancing three interleaved chains by A^3 mod M makes
+//     consecutive steps independent, so the three multiplies per word
+//     retire in parallel instead of serializing.
+//
+// The additive feedback register itself (Uint64) is unchanged.
+//
+// Seeding also XORs a constant 607-word table that math/rand ships
+// precomputed (rngCooked, the generator state after 7.8e12 warm-up
+// steps — see math/rand/gen_cooked.go). Rather than vendor those
+// constants, init() recovers them from the standard library at process
+// start: the first 607 outputs of a freshly seeded source are pairwise
+// sums over its initial register, which invert exactly (recoverCooked),
+// and XORing out the known seed chain leaves the table. Recovery is a
+// few hundred additions, runs once, and stays correct by construction
+// against the Go 1 compatibility promise that freezes math/rand's
+// stream.
+type fastSource struct {
+	tap, feed int
+	vec       [rngLen]uint64
+}
+
+const (
+	rngLen  = 607
+	rngTap  = 273
+	rngMask = 1<<63 - 1
+
+	lehmerM = 1<<31 - 1 // 2^31-1, prime
+	lehmerA = 48271
+)
+
+var (
+	lehmerA3 uint64 // 48271^3 mod 2^31-1, the interleaved-chain stride
+	cooked   [rngLen]uint64
+)
+
+// lehmer advances one Lehmer step: a*x mod 2^31-1, for a, x in
+// [1, 2^31-1). The fold exploits 2^31 == 1 (mod M): the product's high
+// and low halves add to the same residue, and one conditional subtract
+// normalizes (the sum is < 2M because a*x < 2^62-2^33).
+func lehmer(x, a uint64) uint64 {
+	p := a * x
+	x = p&lehmerM + p>>31
+	if x >= lehmerM {
+		x -= lehmerM
+	}
+	return x
+}
+
+func init() {
+	lehmerA3 = lehmer(lehmer(lehmerA, lehmerA), lehmerA)
+	recoverCooked()
+}
+
+// recoverCooked reconstructs math/rand's seeding table. Seed(1) leaves
+// register word i equal to chain_i ^ cooked[i] where chain_i derives
+// from the documented Lehmer seed chain; the additive generator's
+// output k is vec[feed_k] + vec[tap_k]. Walking the tap/feed schedule:
+// outputs 274..607 tap a word the feed already overwrote (at output
+// k-273), so they are "fresh word + known output"; outputs 1..273 tap
+// an original word recovered by the first pass. Two passes of uint64
+// subtraction recover the full initial register, and the seed chain
+// XORs out to the table.
+func recoverCooked() {
+	src := rand.NewSource(1).(rand.Source64)
+	var out [rngLen + 1]uint64
+	for k := 1; k <= rngLen; k++ {
+		out[k] = src.Uint64()
+	}
+	var vec [rngLen]uint64
+	// Outputs 274..607 tap a word overwritten by output k-273, so both
+	// summands are known outputs; 1..273 tap an original word from the
+	// first pass, the feed word always the unknown.
+	for k := 274; k <= 607; k++ {
+		vec[(334-k+rngLen)%rngLen] = out[k] - out[k-273]
+	}
+	for k := 1; k <= 273; k++ {
+		vec[334-k] = out[k] - vec[607-k]
+	}
+	x := uint64(1) // Seed(1): the normalized seed is 1
+	for j := 0; j < 20; j++ {
+		x = lehmer(x, lehmerA)
+	}
+	for i := 0; i < rngLen; i++ {
+		a := lehmer(x, lehmerA)
+		b := lehmer(a, lehmerA)
+		x = lehmer(b, lehmerA)
+		cooked[i] = vec[i] ^ (a<<40 ^ b<<20 ^ x)
+	}
+}
+
+// newFastRand returns a *rand.Rand over a fastSource seeded with seed —
+// the drop-in for rand.New(rand.NewSource(seed)).
+func newFastRand(seed int64) *rand.Rand {
+	s := new(fastSource)
+	s.Seed(seed)
+	return rand.New(s)
+}
+
+// Seed implements rand.Source exactly like math/rand: normalize the
+// seed into (0, 2^31-1), run the 20-step warm-up, then fill the
+// register from the chain, three values per word, XORing the cooked
+// table. The three chains advance independently by A^3.
+func (r *fastSource) Seed(seed int64) {
+	r.tap, r.feed = 0, rngLen-rngTap
+	s := seed % lehmerM
+	if s < 0 {
+		s += lehmerM
+	}
+	if s == 0 {
+		s = 89482311
+	}
+	x := uint64(s)
+	for j := 0; j < 20; j++ {
+		x = lehmer(x, lehmerA)
+	}
+	a := lehmer(x, lehmerA)
+	b := lehmer(a, lehmerA)
+	c := lehmer(b, lehmerA)
+	for i := 0; i < rngLen; i++ {
+		r.vec[i] = a<<40 ^ b<<20 ^ c ^ cooked[i]
+		a = lehmer(a, lehmerA3)
+		b = lehmer(b, lehmerA3)
+		c = lehmer(c, lehmerA3)
+	}
+}
+
+// Uint64 implements rand.Source64 — the unchanged additive feedback
+// register walk.
+func (r *fastSource) Uint64() uint64 {
+	r.tap--
+	if r.tap < 0 {
+		r.tap += rngLen
+	}
+	r.feed--
+	if r.feed < 0 {
+		r.feed += rngLen
+	}
+	x := r.vec[r.feed] + r.vec[r.tap]
+	r.vec[r.feed] = x
+	return x
+}
+
+// Int63 implements rand.Source.
+func (r *fastSource) Int63() int64 { return int64(r.Uint64() & rngMask) }

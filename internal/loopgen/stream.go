@@ -190,7 +190,7 @@ func NewStream(m *resmodel.Machine, st Strata) (*Stream, error) {
 		o:      o,
 		st:     st,
 		counts: make([]int, len(st.Strata)),
-		rng:    rand.New(rand.NewSource(0)),
+		rng:    newFastRand(0),
 	}, nil
 }
 
@@ -264,7 +264,7 @@ func StratumLoops(m *resmodel.Machine, st Strata, si int) ([]*ddg.Graph, error) 
 		return nil, err
 	}
 	n := st.Counts()[si]
-	rng := rand.New(rand.NewSource(0))
+	rng := newFastRand(0)
 	out := make([]*ddg.Graph, n)
 	for k := 0; k < n; k++ {
 		out[k] = genStratumLoop(rng, o, &st, si, k)

@@ -58,6 +58,20 @@ type Bitvector struct {
 	occ       []uint64
 	noSummary bool
 
+	// rows backs the bit-parallel verdict scan (see verdict.go): one
+	// cycle-bitmap of rowW words per resource, flat. Modulo tables keep
+	// three images (bit p == busy(p mod II) for p in [0, 3*II)) so any
+	// window read stays in bounds; linear tables map bit t to cycle t and
+	// grow in step with reserved. Maintained by the same mutations that
+	// maintain mirror/reserved; noVerdict falls the range scans back to
+	// the per-candidate word scan. altVerdict is the FirstFreeWithAlt
+	// scratch holding one verdict word per alternative (sized for the
+	// largest group at construction, so scans allocate nothing).
+	rows       []uint64
+	rowW       int
+	noVerdict  bool
+	altVerdict []uint64
+
 	// Alternative-union packed words for the fast check-with-alt path
 	// (nil until EnableFastAlt).
 	altUnion  [][][]packedWord // linear: [origOp][alignment]
@@ -109,10 +123,20 @@ func NewBitvector(e *resmodel.Expanded, k, wordBits, ii int) (*Bitvector, error)
 		b.packed0 = pt.packed0
 		b.mirror = make([]uint64, (2*ii+k-1)/k+2)
 		b.occ = make([]uint64, (len(b.mirror)+63)/64)
+		b.rowW = (3*ii+63)/64 + 1
 	} else {
 		b.reserved = make([]uint64, (b.c.maxSpan()+16)/k+2)
 		b.occ = make([]uint64, (len(b.reserved)+63)/64)
+		b.rowW = (len(b.reserved)*k+63)/64 + 1
 	}
+	b.rows = make([]uint64, nRes*b.rowW)
+	maxGroup := 1
+	for _, g := range e.AltGroup {
+		if len(g) > maxGroup {
+			maxGroup = len(g)
+		}
+	}
+	b.altVerdict = make([]uint64, maxGroup)
 	return b, nil
 }
 
@@ -195,6 +219,15 @@ func (b *Bitvector) growWords(w int) {
 		copy(occ, b.occ)
 		b.occ = occ
 	}
+	// The verdict rows cover every cycle the reserved words do; regrow
+	// them in step, re-laying each resource's row out at the new stride.
+	if need := (n*b.k+63)/64 + 1; need > b.rowW {
+		rows := make([]uint64, b.nRes*need)
+		for r := 0; r < b.nRes; r++ {
+			copy(rows[r*need:], b.rows[r*b.rowW:(r+1)*b.rowW])
+		}
+		b.rows, b.rowW = rows, need
+	}
 }
 
 // occMark records word wi of the backing table as non-zero; occSync
@@ -258,6 +291,7 @@ func (b *Bitvector) orCycle(t int, bits uint64) {
 		b.mirror[wi] |= bits << uint((tt%b.k)*b.nRes)
 		b.occMark(wi)
 	}
+	b.rowsOrCycleMod(t, bits)
 }
 
 func (b *Bitvector) andNotCycle(t int, bits uint64) {
@@ -266,6 +300,7 @@ func (b *Bitvector) andNotCycle(t int, bits uint64) {
 		b.mirror[wi] &^= bits << uint((tt%b.k)*b.nRes)
 		b.occSync(wi, b.mirror[wi])
 	}
+	b.rowsAndNotCycleMod(t, bits)
 }
 
 // orWordMod ORs a packed word (starting at MRT cycle s, in [0, II)) into
@@ -373,6 +408,7 @@ func (b *Bitvector) orTable(op, cycle int, work *int64) {
 		b.growWords(wi)
 		b.reserved[wi] |= w.Bits
 		b.occMark(wi)
+		b.rowsOrWordLin(wi, w.Bits)
 	}
 }
 
@@ -392,6 +428,7 @@ func (b *Bitvector) andNotTable(op, cycle int, work *int64) {
 		if wi < len(b.reserved) {
 			b.reserved[wi] &^= w.Bits
 			b.occSync(wi, b.reserved[wi])
+			b.rowsAndNotWordLin(wi, w.Bits)
 		}
 	}
 }
@@ -471,11 +508,13 @@ func (b *Bitvector) optimisticAssign(op, cycle int) bool {
 				wj := base + words[j].Word
 				b.reserved[wj] &^= words[j].Bits
 				b.occSync(wj, b.reserved[wj])
+				b.rowsAndNotWordLin(wj, words[j].Bits)
 			}
 			return false
 		}
 		b.reserved[wi] |= w.Bits
 		b.occMark(wi)
+		b.rowsOrWordLin(wi, w.Bits)
 	}
 	return true
 }
@@ -620,6 +659,7 @@ func (b *Bitvector) setBit(r, cycle int) {
 	b.growWords(wi)
 	b.reserved[wi] |= 1 << uint((cycle%b.k)*b.nRes+r)
 	b.occMark(wi)
+	b.rowsOrWordLin(wi, 1<<uint((cycle%b.k)*b.nRes+r))
 }
 
 func (b *Bitvector) clearBit(r, cycle int) {
@@ -631,6 +671,7 @@ func (b *Bitvector) clearBit(r, cycle int) {
 	if wi < len(b.reserved) {
 		b.reserved[wi] &^= 1 << uint((cycle%b.k)*b.nRes+r)
 		b.occSync(wi, b.reserved[wi])
+		b.rowsAndNotWordLin(wi, 1<<uint((cycle%b.k)*b.nRes+r))
 	}
 }
 
@@ -668,6 +709,9 @@ func (b *Bitvector) Reset() {
 	}
 	for i := range b.occ {
 		b.occ[i] = 0
+	}
+	for i := range b.rows {
+		b.rows[i] = 0
 	}
 	clear(b.inst)
 	b.updateMode = false

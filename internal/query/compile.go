@@ -21,6 +21,10 @@ type compiled struct {
 	uses     [][]resmodel.Usage
 	selfConf []bool
 	spans    []int
+	// maxUse[op] is the largest usage cycle of op's (folded) table — the
+	// reach of a candidate's resource window past its issue cycle. The
+	// verdict scan sizes its occupancy-summary probe with it.
+	maxUse []int
 
 	// packs caches the bitvector word packings derived from uses, keyed
 	// by effective cycles-per-word (at most 64 entries).
@@ -120,11 +124,17 @@ func compile(e *resmodel.Expanded, ii int) *compiled {
 		uses:     make([][]resmodel.Usage, len(e.Ops)),
 		selfConf: make([]bool, len(e.Ops)),
 		spans:    make([]int, len(e.Ops)),
+		maxUse:   make([]int, len(e.Ops)),
 	}
 	for oi, o := range e.Ops {
 		if ii == 0 {
 			c.uses[oi] = o.Table.Uses
 			c.spans[oi] = o.Table.Span()
+			for _, u := range o.Table.Uses {
+				if u.Cycle > c.maxUse[oi] {
+					c.maxUse[oi] = u.Cycle
+				}
+			}
 			continue
 		}
 		seen := map[resmodel.Usage]bool{}
@@ -143,6 +153,11 @@ func compile(e *resmodel.Expanded, ii int) *compiled {
 			c.uses[oi] = nil
 		} else {
 			c.uses[oi] = folded
+			for _, u := range folded {
+				if u.Cycle > c.maxUse[oi] {
+					c.maxUse[oi] = u.Cycle
+				}
+			}
 		}
 		c.spans[oi] = ii
 	}

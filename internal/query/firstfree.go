@@ -90,10 +90,11 @@ func RangeProbesAlt(lo, hi, cycle, altIdx, group int, ok bool) int64 {
 // FirstFree implements RangeQuerier.
 func (b *Bitvector) FirstFree(op, lo, hi int) (int, bool) {
 	b.ctr.FirstFreeCalls++
-	w0, s0 := b.ctr.FirstFreeWork, b.ctr.FirstFreeSkips
+	w0, s0, v0 := b.ctr.FirstFreeWork, b.ctr.FirstFreeSkips, b.ctr.FirstFreeVerdictWords
 	cycle, ok := b.firstFree(op, lo, hi)
 	b.ctr.FirstFreeCycles += RangeProbes(lo, hi, cycle, ok)
 	b.met.OnFirstFree(b.ctr.FirstFreeWork-w0, b.ctr.FirstFreeSkips-s0)
+	b.met.OnVerdictWords(b.ctr.FirstFreeVerdictWords - v0)
 	return cycle, ok
 }
 
@@ -109,6 +110,12 @@ func (b *Bitvector) firstFree(op, lo, hi int) (int, bool) {
 		return 0, false
 	}
 	hiEff := b.effectiveHi(lo, hi)
+	if !b.noVerdict {
+		if i := b.verdictFree(op, lo, hiEff-lo+1); i >= 0 {
+			return lo + i, true
+		}
+		return 0, false
+	}
 	if i := b.scanFree(op, lo, hiEff-lo+1); i >= 0 {
 		return lo + i, true
 	}
@@ -243,10 +250,11 @@ func (b *Bitvector) FirstFreeWithAlt(origOp, lo, hi int) (int, int, bool) {
 	b.ctr.FirstFreeWithAltCalls++
 	b.met.OnFirstFreeWithAlt()
 	group := b.e.AltGroup[origOp]
-	w0, s0 := b.ctr.FirstFreeWork, b.ctr.FirstFreeSkips
+	w0, s0, v0 := b.ctr.FirstFreeWork, b.ctr.FirstFreeSkips, b.ctr.FirstFreeVerdictWords
 	op, cycle, altIdx, ok := b.firstFreeAlt(group, lo, hi)
 	b.ctr.FirstFreeCycles += RangeProbesAlt(lo, hi, cycle, altIdx, len(group), ok)
 	b.met.OnFirstFree(b.ctr.FirstFreeWork-w0, b.ctr.FirstFreeSkips-s0)
+	b.met.OnVerdictWords(b.ctr.FirstFreeVerdictWords - v0)
 	return op, cycle, ok
 }
 
@@ -263,6 +271,12 @@ func (b *Bitvector) firstFreeAlt(group []int, lo, hi int) (int, int, int, bool) 
 		L := chunk
 		if t0+L-1 > hiEff {
 			L = hiEff - t0 + 1
+		}
+		if !b.noVerdict {
+			if op, off, ai, ok := b.verdictAltChunk(group, t0, L); ok {
+				return op, t0 + off, ai, true
+			}
+			continue
 		}
 		// The earliest free cycle wins, ties broken by alternative-group
 		// order exactly as the naive CheckWithAlt loop breaks them. Since

@@ -32,6 +32,7 @@ type ModuleObs struct {
 	checkWithAlt                    *obs.Counter
 	firstFreeWithAlt                *obs.Counter
 	firstFreeSkips                  *obs.Counter
+	verdictWords                    *obs.Counter
 	evictions                       *obs.Counter
 	modeTransitions                 *obs.Counter
 }
@@ -56,6 +57,7 @@ func NewModuleObs(kind string) *ModuleObs {
 		checkWithAlt:     s.Counter("check_with_alt.calls"),
 		firstFreeWithAlt: s.Counter("first_free_with_alt.calls"),
 		firstFreeSkips:   s.Counter("firstfree.summary_skips"),
+		verdictWords:     s.Counter("firstfree.verdict_words"),
 		evictions:        s.Counter("evictions"),
 		modeTransitions:  s.Counter("mode_transitions"),
 	}
@@ -110,6 +112,16 @@ func (m *ModuleObs) OnFirstFree(work, skips int64) {
 	if skips != 0 {
 		m.firstFreeSkips.Add(skips)
 	}
+}
+
+// OnVerdictWords records verdict words built by the bit-parallel range
+// scan (query.<kind>.firstfree.verdict_words). Zero deltas — the word
+// scan, the naive loop, discrete modules — record nothing.
+func (m *ModuleObs) OnVerdictWords(n int64) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.verdictWords.Add(n)
 }
 
 func (m *ModuleObs) OnFirstFreeWithAlt() {

@@ -93,6 +93,11 @@ type Counters struct {
 	// work unit) instead of one AND per packed reservation word. Always 0
 	// for discrete modules and with the summary scan disabled.
 	FirstFreeSkips int64
+	// FirstFreeVerdictWords counts the 64-candidate verdict words built by
+	// the bit-parallel range scan (see verdict.go) — the scan's throughput
+	// currency, one word per up-to-64 candidate cycles ruled in or out.
+	// Always 0 for discrete modules and with the verdict scan disabled.
+	FirstFreeVerdictWords int64
 	// ModeTransitions counts optimistic-to-update transitions of the
 	// bitvector assign&free (always 0 for discrete modules).
 	ModeTransitions int64
@@ -125,6 +130,7 @@ func (c *Counters) AddFrom(src *Counters) {
 	c.FirstFreeCycles += src.FirstFreeCycles
 	c.FirstFreeWithAltCalls += src.FirstFreeWithAltCalls
 	c.FirstFreeSkips += src.FirstFreeSkips
+	c.FirstFreeVerdictWords += src.FirstFreeVerdictWords
 	c.ModeTransitions += src.ModeTransitions
 	c.Unscheduled += src.Unscheduled
 	c.AssignFreeEvicting += src.AssignFreeEvicting
@@ -147,6 +153,7 @@ func (c *Counters) Sub(src *Counters) {
 	c.FirstFreeCycles -= src.FirstFreeCycles
 	c.FirstFreeWithAltCalls -= src.FirstFreeWithAltCalls
 	c.FirstFreeSkips -= src.FirstFreeSkips
+	c.FirstFreeVerdictWords -= src.FirstFreeVerdictWords
 	c.ModeTransitions -= src.ModeTransitions
 	c.Unscheduled -= src.Unscheduled
 	c.AssignFreeEvicting -= src.AssignFreeEvicting

@@ -101,14 +101,14 @@ type Policy struct {
 
 // BackendCost is one backend's measured calibration outcome.
 type BackendCost struct {
-	Backend  string  `json:"backend"`
-	Feasible bool    `json:"feasible"`
-	Reason   string  `json:"reason,omitempty"` // why infeasible
-	Probes   int64   `json:"probes,omitempty"` // naive-equivalent probes + basic calls
-	Work     int64   `json:"work,omitempty"`   // counted work units over the trace
-	CostPerOp float64 `json:"cost_per_op,omitempty"`
-	States    int     `json:"states,omitempty"` // FSA interned states (fwd+rev)
-	StateBytes int    `json:"state_bytes,omitempty"`
+	Backend    string  `json:"backend"`
+	Feasible   bool    `json:"feasible"`
+	Reason     string  `json:"reason,omitempty"` // why infeasible
+	Probes     int64   `json:"probes,omitempty"` // naive-equivalent probes + basic calls
+	Work       int64   `json:"work,omitempty"`   // counted work units over the trace
+	CostPerOp  float64 `json:"cost_per_op,omitempty"`
+	States     int     `json:"states,omitempty"` // FSA interned states (fwd+rev)
+	StateBytes int     `json:"state_bytes,omitempty"`
 }
 
 // Calibration is the full measured outcome for one (description,
@@ -257,6 +257,15 @@ func measure(e *resmodel.Expanded, p Policy) *Calibration {
 			if err != nil {
 				bc.Reason = err.Error()
 				break
+			}
+			// Calibrate the bitvector on the word-per-probe scan: the
+			// verdict scan charges per 64-candidate block, a different
+			// currency that would skew the cross-backend cost comparison
+			// (and perturb the committed CROSSOVER.md frontier) without
+			// changing any answer. Production modules returned by Select
+			// are fresh constructions with the verdict scan enabled.
+			if bv, ok := m.(*Bitvector); ok {
+				bv.SetVerdictScan(false)
 			}
 			steps := runTrace(m, e, o.II)
 			if ref == nil {
